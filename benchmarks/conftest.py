@@ -1,0 +1,126 @@
+"""Shared harness for the figure-reproduction benchmarks.
+
+Every ``test_figNN_*.py`` regenerates one figure of the paper's evaluation:
+it sweeps the figure's x-axis, runs the systems the figure compares, prints
+the same rows/series the paper reports (also written to
+``benchmarks/results/``), and asserts the figure's qualitative claims —
+who wins, by roughly what factor, where the crossovers are.
+
+Throughput/latency are *simulated* (items per virtual second on the
+`SimulatedCluster` cost model, see DESIGN.md §2); accuracy losses are real
+measurements against exact re-execution.  pytest-benchmark wraps each
+sweep once (``rounds=1``) — wall time of the harness itself is incidental,
+the figures live in the printed tables and ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import StreamQuery, SystemConfig, WindowConfig
+from repro.workloads.netflow import flow_bytes, flow_protocol, netflow_stream
+from repro.workloads.synthetic import (
+    gaussian_skew_substreams,
+    poisson_substreams,
+    stream_by_rates,
+    stream_by_shares,
+)
+from repro.workloads.taxi import ride_borough, ride_distance, taxi_stream
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Scale knob: REPRO_SCALE=2 doubles stream rates/durations for smoother
+# curves at the cost of wall time; default 1 keeps the full suite ≈ minutes.
+SCALE = float(os.environ.get("REPRO_SCALE", "1"))
+
+KEY = lambda item: item[0]  # noqa: E731
+VAL = lambda item: item[1]  # noqa: E731
+
+# The §5.1 microbenchmark query: window mean over the synthetic values.
+MICRO_QUERY = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean", name="micro-mean")
+# §6.2: total traffic size per protocol per window.
+NETFLOW_QUERY = StreamQuery(
+    key_fn=flow_protocol, value_fn=flow_bytes, kind="sum",
+    group_fn=flow_protocol, name="traffic-per-protocol",
+)
+# §6.3: average trip distance per borough per window.
+TAXI_QUERY = StreamQuery(
+    key_fn=ride_borough, value_fn=ride_distance, kind="mean",
+    group_fn=ride_borough, name="distance-per-borough",
+)
+
+WINDOW = WindowConfig(length=10.0, slide=5.0)  # §6.1 defaults
+
+
+def config(fraction: float = 0.6, **kwargs) -> SystemConfig:
+    return SystemConfig(sampling_fraction=fraction, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def micro_stream():
+    """Default microbenchmark stream: Gaussian A/B/C at 8K:2K:100 ratio."""
+    return stream_by_rates(
+        {"A": 32000 * SCALE, "B": 8000 * SCALE, "C": 400 * SCALE},
+        duration=12,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def gaussian_skew_stream():
+    """§5.7-I: shares 80/19/1% of the skew-parameter Gaussians."""
+    return stream_by_shares(
+        gaussian_skew_substreams(),
+        {"A": 0.80, "B": 0.19, "C": 0.01},
+        total_rate=40000 * SCALE,
+        duration=12,
+        seed=12,
+    )
+
+
+@pytest.fixture(scope="session")
+def poisson_skew_stream():
+    """§5.7-II: shares 80/19.99/0.01% of the Poisson sub-streams."""
+    return stream_by_shares(
+        poisson_substreams(),
+        {"A": 0.80, "B": 0.1999, "C": 0.0001},
+        total_rate=50000 * SCALE,
+        duration=12,
+        seed=13,
+    )
+
+
+@pytest.fixture(scope="session")
+def netflow_case_stream():
+    return netflow_stream(total_rate=30000 * SCALE, duration=12, seed=14)
+
+
+@pytest.fixture(scope="session")
+def taxi_case_stream():
+    return taxi_stream(total_rate=30000 * SCALE, duration=12, seed=15)
+
+
+def run_sweep(collector: ExperimentCollector, runs) -> ExperimentCollector:
+    """Execute (setting, system instance, stream) runs and record them."""
+    for setting, system, stream in runs:
+        collector.record(setting, system.run(stream))
+    return collector
+
+
+def publish(benchmark, collector: ExperimentCollector, metrics=("throughput",)) -> None:
+    """Print + persist the figure tables and attach them to the benchmark."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    blocks = [collector.table(metric) for metric in metrics]
+    text = "\n\n".join(blocks)
+    print("\n" + text)
+    out = RESULTS_DIR / f"{collector.name}.txt"
+    out.write_text(text + "\n")
+    if benchmark is not None:
+        for metric in metrics:
+            for system in collector.systems():
+                for setting, value in collector.series(system, metric):
+                    benchmark.extra_info[f"{metric}/{system}/{setting}"] = round(value, 4)

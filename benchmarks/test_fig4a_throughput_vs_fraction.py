@@ -1,0 +1,69 @@
+"""Figure 4(a): throughput vs sampling fraction, all six systems.
+
+Paper series (Gaussian microbenchmark): Flink-based StreamApprox on top,
+then Spark-based StreamApprox ≈ Spark-based SRS, then the native systems,
+with Spark-based STS at the bottom.  Headline ratios at 60% / 10%:
+StreamApprox over STS 1.68× / 2.60× (Spark) and 2.13× / 3× (Flink);
+Spark-SA 1.8× and Flink-SA 1.65× over their native executions at 60%.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    NativeFlinkSystem,
+    NativeSparkSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+)
+
+from conftest import MICRO_QUERY, WINDOW, config, publish, run_sweep
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8)
+SAMPLED = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def sweep(stream):
+    collector = ExperimentCollector("fig4a_throughput_vs_fraction")
+    runs = []
+    for fraction in FRACTIONS:
+        for cls in SAMPLED:
+            runs.append((fraction, cls(MICRO_QUERY, WINDOW, config(fraction)), stream))
+    for cls in (NativeSparkSystem, NativeFlinkSystem):
+        runs.append(("native", cls(MICRO_QUERY, WINDOW, config(1.0)), stream))
+    return run_sweep(collector, runs)
+
+
+def test_fig4a(benchmark, micro_stream):
+    collector = benchmark.pedantic(sweep, args=(micro_stream,), rounds=1, iterations=1)
+    publish(benchmark, collector, metrics=("throughput",))
+
+    thr = lambda system, setting: collector.value(system, setting, "throughput")  # noqa: E731
+
+    # Flink-based StreamApprox posts the highest throughput at every fraction.
+    for fraction in FRACTIONS:
+        others = [
+            thr(s, fraction)
+            for s in ("spark-streamapprox", "spark-srs", "spark-sts")
+        ]
+        assert thr("flink-streamapprox", fraction) > max(others)
+
+    # StreamApprox over STS: ≈1.7× at 60%, ≈2.6× at 10% (paper's ratios).
+    assert 1.3 < thr("spark-streamapprox", 0.6) / thr("spark-sts", 0.6) < 2.4
+    assert 2.0 < thr("spark-streamapprox", 0.1) / thr("spark-sts", 0.1) < 4.0
+
+    # Speedup over the native executions at 60% sampling (paper: 1.8 / 1.65).
+    assert 1.15 < thr("spark-streamapprox", 0.6) / thr("native-spark", "native") < 2.2
+    assert 1.1 < thr("flink-streamapprox", 0.6) / thr("native-flink", "native") < 2.2
+
+    # SRS tracks StreamApprox's throughput (it loses on accuracy instead).
+    assert 0.85 < thr("spark-streamapprox", 0.6) / thr("spark-srs", 0.6) < 1.5
+
+    # Throughput grows monotonically as the sampling fraction shrinks.
+    sa = [thr("spark-streamapprox", f) for f in FRACTIONS]
+    assert all(a > b for a, b in zip(sa, sa[1:]))

@@ -1,0 +1,57 @@
+"""Figure 4(b): accuracy loss vs sampling fraction (Gaussian microbenchmark).
+
+Paper series: accuracy improves with the sampling fraction for every
+system; the stratified systems (both StreamApprox flavours and Spark-STS)
+sit well below Spark-SRS, which cannot guarantee the rare-but-significant
+sub-stream C is represented.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+)
+
+from conftest import MICRO_QUERY, WINDOW, config, publish, run_sweep
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8, 0.9)
+SYSTEMS = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def sweep(stream):
+    collector = ExperimentCollector("fig4b_accuracy_vs_fraction")
+    runs = [
+        (fraction, cls(MICRO_QUERY, WINDOW, config(fraction)), stream)
+        for fraction in FRACTIONS
+        for cls in SYSTEMS
+    ]
+    return run_sweep(collector, runs)
+
+
+def test_fig4b(benchmark, micro_stream):
+    collector = benchmark.pedantic(sweep, args=(micro_stream,), rounds=1, iterations=1)
+    publish(benchmark, collector, metrics=("accuracy_loss",))
+
+    loss = lambda system, f: collector.value(system, f, "accuracy_loss")  # noqa: E731
+
+    # Stratification wins: both StreamApprox flavours and STS beat SRS at
+    # every fraction (the paper's central accuracy claim).
+    for fraction in FRACTIONS:
+        srs = loss("spark-srs", fraction)
+        for system in ("spark-streamapprox", "flink-streamapprox", "spark-sts"):
+            assert loss(system, fraction) < srs
+
+    # Accuracy improves as the fraction grows (compare the sweep's ends).
+    for system in ("spark-streamapprox", "spark-srs"):
+        assert loss(system, 0.9) < loss(system, 0.1)
+
+    # Magnitudes stay in the paper's band: SRS ≈ 0.6% at 60%, ≤ a few %.
+    assert loss("spark-srs", 0.6) < 0.03
+    assert loss("spark-streamapprox", 0.6) < 0.005

@@ -1,0 +1,63 @@
+"""Figure 5(a): accuracy loss with varying sub-stream arrival rates.
+
+Paper setting: Gaussian sub-streams A/B/C with arrival-rate mixes
+8K:2K:100, 3K:3K:3K and 100:2K:8K items/s at a 60% sampling fraction.
+Sub-stream C carries the most significant values (µ = 10000), so when C is
+rare (8K:2K:100) Spark-SRS fares worst — it can overlook C — while the
+stratified systems stay accurate.  When C dominates (100:2K:8K), all four
+systems converge to nearly the same accuracy.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+)
+from repro.workloads.synthetic import stream_by_rates
+
+from conftest import MICRO_QUERY, SCALE, WINDOW, config, publish, run_sweep
+
+RATE_MIXES = {
+    "8K:2K:100": {"A": 8000, "B": 2000, "C": 100},
+    "3K:3K:3K": {"A": 3000, "B": 3000, "C": 3000},
+    "100:2K:8K": {"A": 100, "B": 2000, "C": 8000},
+}
+SYSTEMS = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def sweep():
+    collector = ExperimentCollector("fig5a_accuracy_vs_arrival_rates")
+    for label, rates in RATE_MIXES.items():
+        scaled = {k: v * SCALE for k, v in rates.items()}
+        stream = stream_by_rates(scaled, duration=12, seed=21)
+        run_sweep(
+            collector,
+            [(label, cls(MICRO_QUERY, WINDOW, config(0.6)), stream) for cls in SYSTEMS],
+        )
+    return collector
+
+
+def test_fig5a(benchmark):
+    collector = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(benchmark, collector, metrics=("accuracy_loss",))
+
+    loss = lambda system, mix: collector.value(system, mix, "accuracy_loss")  # noqa: E731
+
+    # C rare → SRS is the least accurate of the four systems.
+    rare = "8K:2K:100"
+    assert loss("spark-srs", rare) == max(loss(s.name, rare) for s in SYSTEMS)
+
+    # C abundant → everyone is accurate and close together (≤ 0.2% loss).
+    abundant = "100:2K:8K"
+    for cls in SYSTEMS:
+        assert loss(cls.name, abundant) < 0.002
+
+    # SRS improves monotonically as C's arrival rate grows.
+    assert loss("spark-srs", rare) > loss("spark-srs", abundant)

@@ -1,0 +1,53 @@
+"""Figure 5(c): accuracy loss with varying window sizes (10–40 s, 60%).
+
+Paper finding: like throughput (Fig. 5b), accuracy is essentially flat in
+the window size — each pane merges per-interval samples whose quality is
+set by the sampling fraction, not by how many intervals a window spans.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+    WindowConfig,
+)
+
+from conftest import MICRO_QUERY, config, publish, run_sweep
+from test_fig5b_throughput_vs_window import WINDOW_SIZES, long_stream
+
+SYSTEMS = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def sweep(stream):
+    collector = ExperimentCollector("fig5c_accuracy_vs_window")
+    runs = []
+    for size in WINDOW_SIZES:
+        window = WindowConfig(length=size, slide=5.0)
+        runs.extend(
+            (size, cls(MICRO_QUERY, window, config(0.6)), stream) for cls in SYSTEMS
+        )
+    return run_sweep(collector, runs)
+
+
+def test_fig5c(benchmark):
+    stream = long_stream()
+    collector = benchmark.pedantic(sweep, args=(stream,), rounds=1, iterations=1)
+    publish(benchmark, collector, metrics=("accuracy_loss",))
+
+    # Stratified systems stay well below SRS at every window size.
+    for size in WINDOW_SIZES:
+        srs = collector.value("spark-srs", size, "accuracy_loss")
+        for system in ("spark-streamapprox", "flink-streamapprox", "spark-sts"):
+            assert collector.value(system, size, "accuracy_loss") < srs
+
+    # No trend with the window size: losses stay inside a small band.
+    for cls in SYSTEMS:
+        series = [collector.value(cls.name, s, "accuracy_loss") for s in WINDOW_SIZES]
+        assert max(series) - min(series) < 0.008

@@ -1,0 +1,65 @@
+"""Figure 6(a): scalability — throughput vs #cores and #nodes (40% fraction).
+
+Paper series: StreamApprox and Spark-SRS scale near-linearly with cores and
+nodes, while Spark-STS scales poorly because of its synchronization (at one
+8-core node StreamApprox/SRS are ≈1.8× STS; at three nodes ≈2.3×).
+Flink-based StreamApprox stays on top throughout.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+)
+
+from conftest import MICRO_QUERY, WINDOW, config, publish, run_sweep
+
+CORES = (2, 4, 6, 8)  # single node, scale-up
+NODES = (1, 2, 3, 4)  # 8 cores each, scale-out
+SYSTEMS = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def sweep(stream):
+    collector = ExperimentCollector("fig6a_scalability")
+    runs = []
+    for cores in CORES:
+        cfg = config(0.4, nodes=1, cores_per_node=cores)
+        runs.extend(
+            (f"{cores}-cores", cls(MICRO_QUERY, WINDOW, cfg), stream) for cls in SYSTEMS
+        )
+    for nodes in NODES:
+        cfg = config(0.4, nodes=nodes, cores_per_node=8)
+        runs.extend(
+            (f"{nodes}-nodes", cls(MICRO_QUERY, WINDOW, cfg), stream) for cls in SYSTEMS
+        )
+    return run_sweep(collector, runs)
+
+
+def test_fig6a(benchmark, micro_stream):
+    collector = benchmark.pedantic(sweep, args=(micro_stream,), rounds=1, iterations=1)
+    publish(benchmark, collector, metrics=("throughput",))
+
+    thr = lambda system, setting: collector.value(system, setting, "throughput")  # noqa: E731
+
+    # Scale-up: every system gains from 2 to 8 cores.
+    for cls in SYSTEMS:
+        assert thr(cls.name, "8-cores") > thr(cls.name, "2-cores")
+
+    # Scale-out: StreamApprox keeps gaining with nodes...
+    assert thr("spark-streamapprox", "4-nodes") > thr("spark-streamapprox", "1-nodes")
+
+    # ...and scales better than STS (the paper's 1.8× → 2.3× spread).
+    sa_scaling = thr("spark-streamapprox", "3-nodes") / thr("spark-streamapprox", "1-nodes")
+    sts_scaling = thr("spark-sts", "3-nodes") / thr("spark-sts", "1-nodes")
+    assert sa_scaling > sts_scaling
+
+    # Flink-based StreamApprox leads at one node and at three nodes.
+    for setting in ("1-nodes", "3-nodes"):
+        assert thr("flink-streamapprox", setting) >= thr("spark-streamapprox", setting)

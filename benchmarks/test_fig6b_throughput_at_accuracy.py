@@ -1,0 +1,68 @@
+"""Figure 6(b): throughput at a fixed accuracy loss (Gaussian skew stream).
+
+Paper setting: the 80/19/1% skewed Gaussian stream of §5.7-I; every system
+is tuned to the same accuracy loss (0.5% and 1%) and throughput is
+compared.  Paper result at 1%: STS 1.05× over SRS, Spark-StreamApprox
+1.25× over STS, Flink-StreamApprox 1.26× over Spark-StreamApprox.
+
+Tuning works as in practice: sweep the sampling fraction downward and keep
+the smallest fraction whose measured loss stays within the target.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+)
+
+from conftest import MICRO_QUERY, WINDOW, config, publish
+
+TARGETS = (0.005, 0.01)
+FRACTIONS = (0.8, 0.6, 0.4, 0.2, 0.1, 0.05)
+SYSTEMS = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def tune_and_measure(stream):
+    collector = ExperimentCollector("fig6b_throughput_at_accuracy")
+    for target in TARGETS:
+        for cls in SYSTEMS:
+            chosen = None
+            for fraction in FRACTIONS:  # descending: keep the cheapest OK run
+                report = cls(MICRO_QUERY, WINDOW, config(fraction)).run(stream)
+                if report.mean_accuracy_loss() <= target:
+                    chosen = report
+                else:
+                    break
+            if chosen is None:  # cannot hit the target: report the best
+                chosen = cls(MICRO_QUERY, WINDOW, config(0.9)).run(stream)
+            collector.record(f"{target:.1%}", chosen)
+    return collector
+
+
+def test_fig6b(benchmark, gaussian_skew_stream):
+    collector = benchmark.pedantic(
+        tune_and_measure, args=(gaussian_skew_stream,), rounds=1, iterations=1
+    )
+    publish(benchmark, collector, metrics=("throughput", "accuracy_loss"))
+
+    for target in ("0.5%", "1.0%"):
+        thr = {cls.name: collector.value(cls.name, target, "throughput") for cls in SYSTEMS}
+        # Both StreamApprox flavours beat both Spark baselines at equal
+        # accuracy (the paper's ordering, with Flink on top).
+        for approx in ("spark-streamapprox", "flink-streamapprox"):
+            assert thr[approx] > thr["spark-sts"]
+            assert thr[approx] > 0.9 * thr["spark-srs"]
+        assert thr["spark-streamapprox"] > thr["spark-srs"]
+
+        # Accuracy targets were actually met by the stratified systems.
+        for system in ("spark-streamapprox", "flink-streamapprox"):
+            assert collector.value(system, target, "accuracy_loss") <= float(
+                target.strip("%")
+            ) / 100 + 1e-9

@@ -1,0 +1,60 @@
+"""Figure 6(c): accuracy loss vs sampling fraction on the Poisson skew.
+
+Paper setting (§5.7-II): Poisson sub-streams A ~ Poi(10) (80% of items),
+B ~ Poi(1000) (19.99%), C ~ Poi(10⁸) (0.01%).  Sub-stream C is a textbook
+long tail — vanishingly rare but carrying enormous values — so Spark-SRS,
+which may miss C entirely at low fractions, suffers large accuracy losses
+(the paper shows up to ~12%), while the stratified systems stay accurate
+at every fraction.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+)
+
+from conftest import MICRO_QUERY, WINDOW, config, publish, run_sweep
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8, 0.9)
+SYSTEMS = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def sweep(stream):
+    collector = ExperimentCollector("fig6c_poisson_skew_accuracy")
+    runs = [
+        (fraction, cls(MICRO_QUERY, WINDOW, config(fraction)), stream)
+        for fraction in FRACTIONS
+        for cls in SYSTEMS
+    ]
+    return run_sweep(collector, runs)
+
+
+def test_fig6c(benchmark, poisson_skew_stream):
+    collector = benchmark.pedantic(
+        sweep, args=(poisson_skew_stream,), rounds=1, iterations=1
+    )
+    publish(benchmark, collector, metrics=("accuracy_loss",))
+
+    loss = lambda system, f: collector.value(system, f, "accuracy_loss")  # noqa: E731
+
+    # The long tail punishes SRS at every fraction; stratified systems win.
+    for fraction in FRACTIONS:
+        srs = loss("spark-srs", fraction)
+        for system in ("spark-streamapprox", "flink-streamapprox", "spark-sts"):
+            assert loss(system, fraction) < srs
+
+    # SRS's loss is substantial at low fractions and shrinks with more data.
+    assert loss("spark-srs", 0.1) > 0.01
+    assert loss("spark-srs", 0.9) < loss("spark-srs", 0.1)
+
+    # StreamApprox keeps the long tail: sub-percent loss at any fraction.
+    for fraction in FRACTIONS:
+        assert loss("spark-streamapprox", fraction) < 0.01

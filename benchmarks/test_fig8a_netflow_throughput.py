@@ -1,0 +1,70 @@
+"""Figure 8(a): network-traffic case study — throughput vs sampling fraction.
+
+Paper setting (§6.2): CAIDA-derived NetFlow records, query = total traffic
+size per protocol (TCP/UDP/ICMP) per sliding window.  Results: Spark-based
+StreamApprox >2× over Spark-STS and ≈ Spark-SRS; Flink-based StreamApprox
+another ≈1.6× on top; at 60% sampling, 1.3×/1.35× over the native
+Spark/Flink executions; and — the crossover — native Spark beats
+Spark-STS, whose groupBy/sort/synchronization costs exceed the savings of
+sampling.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    NativeFlinkSystem,
+    NativeSparkSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+)
+
+from conftest import NETFLOW_QUERY, WINDOW, config, publish, run_sweep
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8)
+SAMPLED = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def sweep(stream):
+    collector = ExperimentCollector("fig8a_netflow_throughput")
+    runs = []
+    for fraction in FRACTIONS:
+        runs.extend(
+            (fraction, cls(NETFLOW_QUERY, WINDOW, config(fraction)), stream)
+            for cls in SAMPLED
+        )
+    for cls in (NativeSparkSystem, NativeFlinkSystem):
+        runs.append(("native", cls(NETFLOW_QUERY, WINDOW, config(1.0)), stream))
+    return run_sweep(collector, runs)
+
+
+def test_fig8a(benchmark, netflow_case_stream):
+    collector = benchmark.pedantic(
+        sweep, args=(netflow_case_stream,), rounds=1, iterations=1
+    )
+    publish(benchmark, collector, metrics=("throughput",))
+
+    thr = lambda system, setting: collector.value(system, setting, "throughput")  # noqa: E731
+
+    # StreamApprox ≈ 2× STS (paper: "more than 2×" at low fractions).
+    assert thr("spark-streamapprox", 0.1) / thr("spark-sts", 0.1) > 2.0
+    assert thr("spark-streamapprox", 0.6) / thr("spark-sts", 0.6) > 1.4
+
+    # StreamApprox ≈ SRS throughput.
+    assert 0.85 < thr("spark-streamapprox", 0.6) / thr("spark-srs", 0.6) < 1.5
+
+    # Flink flavour on top at every fraction.
+    for fraction in FRACTIONS:
+        assert thr("flink-streamapprox", fraction) > thr("spark-streamapprox", fraction)
+
+    # Speedups over the native executions at 60% (paper: 1.3× / 1.35×).
+    assert thr("spark-streamapprox", 0.6) / thr("native-spark", "native") > 1.15
+    assert thr("flink-streamapprox", 0.6) / thr("native-flink", "native") > 1.1
+
+    # The surprising crossover: native Spark outruns Spark-STS.
+    assert thr("native-spark", "native") > thr("spark-sts", 0.6)

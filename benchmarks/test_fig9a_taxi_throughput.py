@@ -1,0 +1,65 @@
+"""Figure 9(a): NYC-taxi case study — throughput vs sampling fraction.
+
+Paper setting (§6.3): DEBS-2015-style taxi rides, query = average trip
+distance per start borough per sliding window.  Results mirror the first
+case study: Spark-StreamApprox ≈ SRS and ≈2× STS; Flink-StreamApprox
+≈1.5× over Spark-StreamApprox; 1.2×/1.28× over native Spark/Flink at 60%;
+and native Spark again beats Spark-STS.
+"""
+
+from repro.metrics.collector import ExperimentCollector
+from repro.system import (
+    FlinkStreamApproxSystem,
+    NativeFlinkSystem,
+    NativeSparkSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+)
+
+from conftest import TAXI_QUERY, WINDOW, config, publish, run_sweep
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8)
+SAMPLED = (
+    SparkStreamApproxSystem,
+    FlinkStreamApproxSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+)
+
+
+def sweep(stream):
+    collector = ExperimentCollector("fig9a_taxi_throughput")
+    runs = []
+    for fraction in FRACTIONS:
+        runs.extend(
+            (fraction, cls(TAXI_QUERY, WINDOW, config(fraction)), stream)
+            for cls in SAMPLED
+        )
+    for cls in (NativeSparkSystem, NativeFlinkSystem):
+        runs.append(("native", cls(TAXI_QUERY, WINDOW, config(1.0)), stream))
+    return run_sweep(collector, runs)
+
+
+def test_fig9a(benchmark, taxi_case_stream):
+    collector = benchmark.pedantic(
+        sweep, args=(taxi_case_stream,), rounds=1, iterations=1
+    )
+    publish(benchmark, collector, metrics=("throughput",))
+
+    thr = lambda system, setting: collector.value(system, setting, "throughput")  # noqa: E731
+
+    # Roughly 2× over STS, parity with SRS (paper's headline for Fig. 9a).
+    assert thr("spark-streamapprox", 0.2) / thr("spark-sts", 0.2) > 1.8
+    assert 0.85 < thr("spark-streamapprox", 0.6) / thr("spark-srs", 0.6) < 1.5
+
+    # Flink flavour on top at every fraction.
+    for fraction in FRACTIONS:
+        assert thr("flink-streamapprox", fraction) > thr("spark-streamapprox", fraction)
+
+    # Speedup over the native executions at 60% (paper: 1.2× / 1.28×).
+    assert thr("spark-streamapprox", 0.6) / thr("native-spark", "native") > 1.1
+    assert thr("flink-streamapprox", 0.6) / thr("native-flink", "native") > 1.1
+
+    # Native Spark again beats Spark-STS.
+    assert thr("native-spark", "native") > thr("spark-sts", 0.6)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Query budgets: driving the sample size from a user-facing target (§7).
+
+The paper assumes a *virtual cost function* translating a query budget
+(accuracy, latency, or resources) into a sample size, plus an adaptive
+feedback loop that re-tunes the size when the measured error exceeds the
+target.  This example exercises both, directly on the core API:
+
+1. an **accuracy budget** (±0.5% CI half-width) is converted to a
+   per-stratum sample size via the inverted Equation 9,
+2. a **latency budget** and a **resource budget** are converted through
+   the Pulsar-style token cost model,
+3. the adaptive controller then runs a live loop: interval after interval
+   it measures the realised error bound and grows/decays the sample size
+   until the target is met at minimum cost.
+
+Run:  python examples/budgeted_query.py
+"""
+
+import random
+
+from repro import (
+    AccuracyBudget,
+    AdaptiveSampleSizeController,
+    LatencyBudget,
+    OASRSSampler,
+    ResourceBudget,
+    VirtualCostFunction,
+    WaterFillingAllocation,
+    approximate_mean,
+    estimate_error,
+)
+from repro.core.query import StratumStats
+
+
+def interval_items(rng):
+    items = [("sensor-1", rng.gauss(21.0, 2.0)) for _ in range(6000)]
+    items += [("sensor-2", rng.gauss(24.0, 3.0)) for _ in range(3000)]
+    rng.shuffle(items)
+    return items
+
+
+def main() -> None:
+    rng = random.Random(2)
+
+    # --- 1. budget → sample size via the virtual cost function ------------
+    vcf = VirtualCostFunction(cores=8)
+    # Seed the cost function with one observed interval (Algorithm 2 feeds
+    # back each interval's statistics).
+    sampler = OASRSSampler(
+        WaterFillingAllocation(4000, expected_strata=2),
+        key_fn=lambda it: it[0],
+        rng=random.Random(0),
+    )
+    sampler.offer_many(interval_items(rng))
+    first = sampler.close_interval()
+    result = approximate_mean(first, lambda it: it[1])
+    vcf.observe(result.strata)
+
+    for budget in (
+        AccuracyBudget(target_margin=0.05, confidence=0.95),
+        LatencyBudget(max_seconds=0.05),
+        ResourceBudget(workers=2, cores_per_worker=4),
+    ):
+        size = vcf.sample_size(budget, expected_items_per_interval=9000)
+        fraction = vcf.sampling_fraction(budget, 9000)
+        print(f"{type(budget).__name__:16s} → per-stratum sample size "
+              f"{size:6d}  (≈ {fraction:.0%} overall)")
+
+    # --- 2. the adaptive feedback loop -------------------------------------
+    print("\nadaptive loop toward a ±0.5% relative error target:")
+    controller = AdaptiveSampleSizeController(
+        initial_size=100, target_relative_margin=0.005
+    )
+    policy = WaterFillingAllocation(controller.current_size, expected_strata=2)
+    live = OASRSSampler(policy, key_fn=lambda it: it[0], rng=random.Random(1))
+    for interval in range(1, 11):
+        live.offer_many(interval_items(rng))
+        sample = live.close_interval()
+        bound = estimate_error(approximate_mean(sample, lambda it: it[1]))
+        print(f"  interval {interval:2d}: size={policy.total:6d}  "
+              f"mean={bound.value:6.2f} ± {bound.margin:5.3f} "
+              f"({bound.relative_margin:.3%} relative)")
+        policy.total = controller.update(bound.relative_margin)
+    print("  → converged" if bound.relative_margin <= 0.005 else "  → still adapting")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Online stratification of an unlabeled stream (§7 "Stratified sampling").
+
+The paper's IoT motivating case: temperature sensors across a city, where
+each sensor's readings follow its own distribution.  Here the source
+labels are *lost* upstream (a common reality), so OASRS cannot stratify by
+source.  §7 suggests bootstrap- or classifier-based pre-processing; this
+example composes both implementations with OASRS:
+
+1. a mixed, unlabeled reading stream from three hidden sensor groups
+   (street level ~12 °C, rooftops ~18 °C, datacenter inlets ~27 °C),
+2. a `QuantileStratifier` (bootstrap flavour) and a
+   `GaussianMixtureStratifier` (semi-supervised flavour, seeded with a few
+   labelled calibration readings) recover strata on the fly,
+3. OASRS samples each recovered stratum and the city-wide mean is
+   estimated with error bounds — versus naive unstratified sampling.
+
+Run:  python examples/iot_unlabeled_stream.py
+"""
+
+import random
+import statistics
+
+from repro import OASRSSampler, WaterFillingAllocation, approximate_mean, estimate_error
+from repro.core.stratify import GaussianMixtureStratifier, QuantileStratifier
+
+
+def sensor_stream(n: int, rng: random.Random):
+    """Unlabeled readings from three hidden sensor populations."""
+    readings = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.70:
+            readings.append(rng.gauss(12.0, 1.5))  # street-level sensors
+        elif r < 0.95:
+            readings.append(rng.gauss(18.0, 1.0))  # rooftop sensors
+        else:
+            readings.append(rng.gauss(27.0, 0.8))  # datacenter inlets
+    return readings
+
+
+def sample_with(key_fn, readings, budget, seed, strata_hint):
+    sampler = OASRSSampler(
+        WaterFillingAllocation(budget, expected_strata=strata_hint),
+        key_fn=key_fn,
+        rng=random.Random(seed),
+    )
+    sampler.offer_many(readings)
+    sample = sampler.close_interval()
+    bound = estimate_error(approximate_mean(sample), confidence=0.95)
+    return sample, bound
+
+
+def main() -> None:
+    rng = random.Random(42)
+    readings = sensor_stream(60_000, rng)
+    truth = statistics.fmean(readings)
+    budget = 600  # sample ≈ 1% of the interval
+    print(f"{len(readings):,} unlabeled readings; true city mean "
+          f"{truth:.3f} °C; sampling budget {budget} readings (1%)\n")
+
+    # Bootstrap flavour: quantile buckets learned from a distribution sketch.
+    quantile = QuantileStratifier(3, rng=random.Random(1))
+    q_sample, q_bound = sample_with(quantile.assign, readings, budget, 2, 3)
+
+    # Semi-supervised flavour: seeded with a few labelled calibration reads.
+    mixture = GaussianMixtureStratifier(
+        3, seeds=[[11.5, 12.5], [17.8, 18.3], [26.9, 27.2]]
+    )
+    m_sample, m_bound = sample_with(mixture.assign, readings, budget, 3, 3)
+
+    # Baseline: no stratification (single stratum = plain reservoir).
+    flat_sample, flat_bound = sample_with(lambda _v: "all", readings, budget, 4, 1)
+
+    print(f"{'method':>24} {'estimate':>9} {'±95% CI':>8} {'|err|':>8} {'strata':>7}")
+    for name, sample, bound in (
+        ("quantile (bootstrap)", q_sample, q_bound),
+        ("mixture (semi-sup.)", m_sample, m_bound),
+        ("unstratified", flat_sample, flat_bound),
+    ):
+        print(f"{name:>24} {bound.value:9.3f} {bound.margin:8.3f} "
+              f"{abs(bound.value - truth):8.4f} {len(sample):7d}")
+
+    print("\nlearned structure:")
+    print(f"  quantile cut points : "
+          f"{', '.join(f'{c:.1f}°C' for c in quantile.boundaries)}")
+    print(f"  mixture centres     : "
+          f"{', '.join(f'{c:.1f}°C' for c in mixture.centres)}")
+    tighter = (q_bound.margin + m_bound.margin) / 2
+    print(f"\nstratified CIs are {flat_bound.margin / tighter:.1f}× tighter than "
+          f"unstratified at the same budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Case study 1 (§6.2): real-time network-traffic monitoring.
+
+Measures the total TCP / UDP / ICMP traffic volume per sliding window over
+a CAIDA-like NetFlow stream, end to end through the aggregator substrate:
+
+1. three `SubStreamProducer`s (one per protocol) publish flow records into
+   a Kafka-like topic via the replay tool,
+2. a consumer drains the merged, time-ordered stream,
+3. Spark-based StreamApprox answers the per-protocol traffic query at a
+   40% sampling fraction with error bounds,
+4. the same query runs on the native (unsampled) Spark path for a
+   throughput / accuracy comparison.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from repro import (
+    NativeSparkSystem,
+    SparkStreamApproxSystem,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+)
+from repro.aggregator import Broker, Consumer, ReplayTool
+from repro.workloads.netflow import (
+    PROTOCOL_MIX,
+    flow_bytes,
+    flow_protocol,
+    generate_flows,
+)
+
+import random
+
+
+def publish_through_aggregator(total_rate: float, duration: float, seed: int = 3):
+    """Replay per-protocol flow sub-streams through the broker (Figure 1)."""
+    broker = Broker()
+    tool = ReplayTool(broker, "netflow", num_partitions=4)
+    base = random.Random(seed)
+    substreams = {}
+    for protocol, share in PROTOCOL_MIX.items():
+        rate = total_rate * share
+        flows = generate_flows(protocol, int(rate * duration), random.Random(base.getrandbits(64)))
+        substreams[protocol] = (rate, flows)
+    sent = tool.replay(substreams)
+    consumer = Consumer(broker, "netflow")
+    # Records carry (key=protocol, value=FlowRecord); systems consume
+    # (timestamp, (protocol, record)) items.
+    stream = [(r.timestamp, (r.key, r.value)) for r in consumer.poll()]
+    return sent, stream
+
+
+def main() -> None:
+    sent, stream = publish_through_aggregator(total_rate=20_000, duration=30)
+    print(f"replayed {sent:,} NetFlow records through the aggregator "
+          f"(mix: {', '.join(f'{p} {s:.1%}' for p, s in PROTOCOL_MIX.items())})\n")
+
+    query = StreamQuery(
+        key_fn=flow_protocol,
+        value_fn=flow_bytes,
+        kind="sum",
+        group_fn=flow_protocol,
+        name="traffic-per-protocol",
+    )
+    window = WindowConfig(length=10.0, slide=5.0)
+
+    approx = SparkStreamApproxSystem(
+        query, window, SystemConfig(sampling_fraction=0.4, seed=4)
+    ).run(stream)
+    native = NativeSparkSystem(query, window, SystemConfig(sampling_fraction=1.0)).run(stream)
+
+    print(f"{'pane end':>8} {'protocol':>9} {'approx MB':>11} {'exact MB':>10} {'loss':>8}")
+    for pane in approx.results:
+        for protocol in ("TCP", "UDP", "ICMP"):
+            approx_mb = pane.groups.get(protocol, 0.0) / 1e6
+            exact_mb = pane.exact_groups.get(protocol, 0.0) / 1e6
+            loss = abs(approx_mb - exact_mb) / exact_mb if exact_mb else 0.0
+            print(f"{pane.end:8.0f} {protocol:>9} {approx_mb:11.2f} "
+                  f"{exact_mb:10.2f} {loss:8.2%}")
+
+    speedup = approx.throughput / native.throughput
+    print(f"\nStreamApprox : {approx.throughput:,.0f} items/s, "
+          f"loss {approx.mean_accuracy_loss():.3%}")
+    print(f"native Spark : {native.throughput:,.0f} items/s (exact)")
+    print(f"speedup      : {speedup:.2f}× at 40% sampling "
+          f"(paper reports 1.3× at 60% on this workload)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""The Kafka-like stream aggregator substrate (Figure 1)."""
+
+from .broker import Broker, Partition, Record, Topic
+from .consumer import Consumer
+from .groups import ConsumerGroup, GroupMember
+from .producer import Producer, SubStreamProducer
+from .replay import ReplayTool, interleave_substreams
+
+__all__ = [
+    "Broker",
+    "Consumer",
+    "ConsumerGroup",
+    "GroupMember",
+    "Partition",
+    "Producer",
+    "Record",
+    "ReplayTool",
+    "SubStreamProducer",
+    "Topic",
+    "interleave_substreams",
+]

@@ -1,0 +1,111 @@
+"""In-memory stream aggregator — the Kafka-like substrate (Figure 1).
+
+The paper uses Apache Kafka to combine disjoint sub-streams into the single
+input stream StreamApprox consumes.  This module provides the same shape:
+a `Broker` hosts named *topics*, each split into *partitions*; producers
+append timestamped records to a partition chosen by a key hash (so one
+sub-stream's records stay ordered within its partition); consumers fetch
+from per-partition *offsets*.
+
+Only at-most-once, in-memory semantics are implemented — durability and
+replication are irrelevant to the paper's evaluation, which replays finite
+datasets through the aggregator into the analytics systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Record", "Partition", "Topic", "Broker"]
+
+
+@dataclass(frozen=True)
+class Record(Generic[T]):
+    """One timestamped record, as stored in a partition log."""
+
+    offset: int
+    timestamp: float
+    key: Optional[Hashable]
+    value: T
+
+
+class Partition(Generic[T]):
+    """An append-only log with integer offsets."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self._log: List[Record[T]] = []
+
+    def append(self, timestamp: float, key: Optional[Hashable], value: T) -> int:
+        offset = len(self._log)
+        self._log.append(Record(offset, timestamp, key, value))
+        return offset
+
+    def fetch(self, offset: int, max_records: Optional[int] = None) -> List[Record[T]]:
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        end = len(self._log) if max_records is None else offset + max_records
+        return self._log[offset:end]
+
+    @property
+    def end_offset(self) -> int:
+        return len(self._log)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+
+class Topic(Generic[T]):
+    """A named set of partitions with hash-by-key routing."""
+
+    def __init__(self, name: str, num_partitions: int = 1) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.name = name
+        self.partitions: List[Partition[T]] = [
+            Partition(i) for i in range(num_partitions)
+        ]
+        self._round_robin = 0
+
+    def partition_for(self, key: Optional[Hashable]) -> Partition[T]:
+        if key is None:
+            p = self.partitions[self._round_robin % len(self.partitions)]
+            self._round_robin += 1
+            return p
+        return self.partitions[hash(key) % len(self.partitions)]
+
+    def append(self, timestamp: float, key: Optional[Hashable], value: T) -> int:
+        return self.partition_for(key).append(timestamp, key, value)
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+
+class Broker(Generic[T]):
+    """The aggregator node: topic registry."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, Topic[T]] = {}
+
+    def create_topic(self, name: str, num_partitions: int = 1) -> Topic[T]:
+        if name in self._topics:
+            raise KeyError(f"topic {name!r} already exists")
+        topic: Topic[T] = Topic(name, num_partitions)
+        self._topics[name] = topic
+        return topic
+
+    def topic(self, name: str) -> Topic[T]:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise KeyError(f"unknown topic {name!r}") from None
+
+    def has_topic(self, name: str) -> bool:
+        return name in self._topics
+
+    def topics(self) -> List[str]:
+        return sorted(self._topics)

@@ -1,0 +1,63 @@
+"""Consumer side of the stream aggregator.
+
+A `Consumer` reads one topic across all its partitions, merging records in
+timestamp order (the aggregated stream of Figure 1) and tracking a
+per-partition offset so repeated ``poll`` calls resume where they left off.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .broker import Broker, Record
+
+T = TypeVar("T")
+
+__all__ = ["Consumer"]
+
+
+class Consumer(Generic[T]):
+    """Reads a topic's partitions as one merged, time-ordered stream."""
+
+    def __init__(self, broker: Broker, topic: str) -> None:
+        self._topic = broker.topic(topic)
+        self._offsets: List[int] = [0] * len(self._topic.partitions)
+
+    @property
+    def lag(self) -> int:
+        """Records appended but not yet consumed."""
+        return sum(
+            p.end_offset - off
+            for p, off in zip(self._topic.partitions, self._offsets)
+        )
+
+    def poll(self, max_records: Optional[int] = None) -> List[Record[T]]:
+        """Fetch up to ``max_records`` new records, merged by timestamp."""
+        heap: List[Tuple[float, int, int, Record[T]]] = []
+        fetched: List[List[Record[T]]] = []
+        for i, partition in enumerate(self._topic.partitions):
+            records = partition.fetch(self._offsets[i], max_records)
+            fetched.append(records)
+            if records:
+                heapq.heappush(heap, (records[0].timestamp, i, 0, records[0]))
+
+        out: List[Record[T]] = []
+        cursors = [0] * len(fetched)
+        while heap and (max_records is None or len(out) < max_records):
+            _ts, i, j, record = heapq.heappop(heap)
+            out.append(record)
+            self._offsets[i] = record.offset + 1
+            cursors[i] = j + 1
+            if cursors[i] < len(fetched[i]):
+                nxt = fetched[i][cursors[i]]
+                heapq.heappush(heap, (nxt.timestamp, i, cursors[i], nxt))
+        return out
+
+    def stream(self) -> Iterator[Tuple[float, T]]:
+        """Drain everything currently in the topic as (timestamp, value)."""
+        for record in self.poll():
+            yield record.timestamp, record.value
+
+    def seek_to_beginning(self) -> None:
+        self._offsets = [0] * len(self._topic.partitions)

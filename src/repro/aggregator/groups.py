@@ -1,0 +1,117 @@
+"""Consumer groups for the stream aggregator (Kafka semantics subset).
+
+The distributed systems in `repro.core.distributed` assume the input
+stream is partitioned over workers; consumer groups are how Kafka realises
+that: each group member is assigned a disjoint subset of a topic's
+partitions, every record is delivered to exactly one member per group, and
+a member joining or leaving triggers a *rebalance* that reassigns
+partitions (range assignment, as in Kafka's default).
+
+Offsets are tracked per group (not per member), so rebalances never lose
+or duplicate records at the granularity the tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, Optional, TypeVar
+
+from .broker import Broker, Record
+
+T = TypeVar("T")
+
+__all__ = ["ConsumerGroup", "GroupMember"]
+
+
+class ConsumerGroup(Generic[T]):
+    """Coordinates partition assignment + group offsets for one topic."""
+
+    def __init__(self, broker: Broker, topic: str, group_id: str) -> None:
+        self._topic = broker.topic(topic)
+        self.group_id = group_id
+        self._members: List["GroupMember[T]"] = []
+        self._offsets: Dict[int, int] = {
+            p.index: 0 for p in self._topic.partitions
+        }
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Rebalance counter: bumps on every join/leave."""
+        return self._generation
+
+    @property
+    def members(self) -> List["GroupMember[T]"]:
+        return list(self._members)
+
+    def join(self) -> "GroupMember[T]":
+        member: GroupMember[T] = GroupMember(self, len(self._members))
+        self._members.append(member)
+        self._rebalance()
+        return member
+
+    def leave(self, member: "GroupMember[T]") -> None:
+        if member not in self._members:
+            raise ValueError("member is not part of this group")
+        self._members.remove(member)
+        member._assigned = []
+        self._rebalance()
+
+    def _rebalance(self) -> None:
+        """Range assignment: contiguous partition slices per member."""
+        self._generation += 1
+        partitions = [p.index for p in self._topic.partitions]
+        n = len(self._members)
+        if n == 0:
+            return
+        base, extra = divmod(len(partitions), n)
+        start = 0
+        for i, member in enumerate(self._members):
+            take = base + (1 if i < extra else 0)
+            member._assigned = partitions[start:start + take]
+            start += take
+
+    # -- group-offset fetch --------------------------------------------------
+
+    def _poll_partition(self, index: int, max_records: Optional[int]) -> List[Record[T]]:
+        partition = self._topic.partitions[index]
+        records = partition.fetch(self._offsets[index], max_records)
+        if records:
+            self._offsets[index] = records[-1].offset + 1
+        return records
+
+    def lag(self) -> int:
+        """Records not yet delivered to this group."""
+        return sum(
+            self._topic.partitions[i].end_offset - off
+            for i, off in self._offsets.items()
+        )
+
+
+class GroupMember(Generic[T]):
+    """One consumer inside a group, reading only its assigned partitions."""
+
+    def __init__(self, group: ConsumerGroup[T], member_id: int) -> None:
+        self._group = group
+        self.member_id = member_id
+        self._assigned: List[int] = []
+
+    @property
+    def assignment(self) -> List[int]:
+        return list(self._assigned)
+
+    def poll(self, max_records: Optional[int] = None) -> List[Record[T]]:
+        """Fetch new records from the member's partitions, timestamp-merged."""
+        out: List[Record[T]] = []
+        remaining = max_records
+        for index in self._assigned:
+            records = self._group._poll_partition(index, remaining)
+            out.extend(records)
+            if remaining is not None:
+                remaining -= len(records)
+                if remaining <= 0:
+                    break
+        out.sort(key=lambda r: r.timestamp)
+        return out
+
+    def close(self) -> None:
+        self._group.leave(self)

@@ -1,0 +1,57 @@
+"""Producer side of the stream aggregator.
+
+A `Producer` appends records to a topic; `SubStreamProducer` is the shape
+the paper's Figure 1 shows — one producer per sub-stream source, stamping
+every record with the sub-stream's key so stratification downstream can
+recover the source.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Optional, Tuple, TypeVar
+
+from .broker import Broker
+
+T = TypeVar("T")
+
+__all__ = ["Producer", "SubStreamProducer"]
+
+
+class Producer(Generic[T]):
+    """Appends keyed, timestamped records to one topic."""
+
+    def __init__(self, broker: Broker, topic: str) -> None:
+        self._topic = broker.topic(topic)
+        self.sent = 0
+
+    def send(self, timestamp: float, value: T, key: Optional[Hashable] = None) -> int:
+        offset = self._topic.append(timestamp, key, value)
+        self.sent += 1
+        return offset
+
+    def send_all(self, records: Iterable[Tuple[float, T]], key: Optional[Hashable] = None) -> int:
+        count = 0
+        for timestamp, value in records:
+            self.send(timestamp, value, key=key)
+            count += 1
+        return count
+
+
+class SubStreamProducer(Producer[T]):
+    """A producer bound to one sub-stream source (stratum).
+
+    Every record carries the source id as its key, which both routes the
+    sub-stream to a stable partition and lets consumers stratify by key.
+    """
+
+    def __init__(self, broker: Broker, topic: str, source_id: Hashable) -> None:
+        super().__init__(broker, topic)
+        self.source_id = source_id
+
+    def send(self, timestamp: float, value: T, key: Optional[Hashable] = None) -> int:
+        if key is not None and key != self.source_id:
+            raise ValueError(
+                f"sub-stream producer for {self.source_id!r} cannot send "
+                f"with key {key!r}"
+            )
+        return super().send(timestamp, value, key=self.source_id)

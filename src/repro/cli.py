@@ -1,0 +1,174 @@
+"""Command-line interface for quick experiments.
+
+Run single comparisons without writing a script::
+
+    python -m repro compare --workload gaussian --fraction 0.6
+    python -m repro compare --workload netflow --systems spark-streamapprox spark-sts
+    python -m repro sweep --workload taxi --metric accuracy_loss
+    python -m repro systems
+
+Subcommands:
+
+* ``systems`` — list the six available systems,
+* ``compare`` — run chosen systems once at one sampling fraction and print
+  throughput / accuracy / latency plus an ASCII bar chart,
+* ``sweep`` — sweep the sampling fraction and print the resulting figure
+  table and an ASCII line chart.
+
+The CLI is a thin veneer over the same public API the benchmarks use; it
+exists so a fresh checkout can produce paper-shaped numbers in one line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from .metrics.ascii_chart import bar_chart, line_chart
+from .metrics.collector import ExperimentCollector
+from .system import ALL_SYSTEMS, StreamQuery, SystemConfig, WindowConfig
+from .workloads.netflow import flow_bytes, flow_protocol, netflow_stream
+from .workloads.synthetic import stream_by_rates
+from .workloads.taxi import ride_borough, ride_distance, taxi_stream
+
+__all__ = ["main", "build_parser", "make_workload"]
+
+_DEFAULT_SYSTEMS = list(ALL_SYSTEMS)
+
+
+def make_workload(name: str, rate: float, duration: float, seed: int):
+    """Return (stream, query) for a named workload."""
+    if name == "gaussian":
+        stream = stream_by_rates(
+            {"A": rate * 0.8, "B": rate * 0.19, "C": rate * 0.01},
+            duration=duration,
+            seed=seed,
+        )
+        query = StreamQuery(
+            key_fn=lambda it: it[0], value_fn=lambda it: it[1], kind="mean",
+            name="window-mean",
+        )
+    elif name == "netflow":
+        stream = netflow_stream(total_rate=rate, duration=duration, seed=seed)
+        query = StreamQuery(
+            key_fn=flow_protocol, value_fn=flow_bytes, kind="sum",
+            group_fn=flow_protocol, name="traffic-per-protocol",
+        )
+    elif name == "taxi":
+        stream = taxi_stream(total_rate=rate, duration=duration, seed=seed)
+        query = StreamQuery(
+            key_fn=ride_borough, value_fn=ride_distance, kind="mean",
+            group_fn=ride_borough, name="distance-per-borough",
+        )
+    else:
+        raise ValueError(f"unknown workload {name!r}")
+    return stream, query
+
+
+def _run_systems(
+    names: List[str], stream, query, fraction: float, window: WindowConfig
+) -> Dict[str, object]:
+    reports = {}
+    for name in names:
+        cls = ALL_SYSTEMS[name]
+        config = SystemConfig(sampling_fraction=fraction if "native" not in name else 1.0)
+        reports[name] = cls(query, window, config).run(stream)
+    return reports
+
+
+def cmd_systems(_args) -> int:
+    print("available systems:")
+    for name, cls in ALL_SYSTEMS.items():
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:22s} {doc}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    stream, query = make_workload(args.workload, args.rate, args.duration, args.seed)
+    window = WindowConfig(args.window, args.slide)
+    reports = _run_systems(args.systems, stream, query, args.fraction, window)
+
+    print(f"workload={args.workload} items={len(stream):,} fraction={args.fraction}\n")
+    print(f"{'system':>22} {'items/s':>12} {'loss':>9} {'latency(s)':>11}")
+    for name, report in reports.items():
+        print(
+            f"{name:>22} {report.throughput:12,.0f} "
+            f"{report.mean_accuracy_loss():9.3%} {report.latency:11.3f}"
+        )
+    print()
+    print(bar_chart(
+        {name: r.throughput for name, r in reports.items()},
+        title="throughput (items per simulated second)",
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    stream, query = make_workload(args.workload, args.rate, args.duration, args.seed)
+    window = WindowConfig(args.window, args.slide)
+    collector = ExperimentCollector(f"sweep_{args.workload}")
+    for fraction in args.fractions:
+        for name in args.systems:
+            if "native" in name:
+                continue
+            report = ALL_SYSTEMS[name](
+                query, window, SystemConfig(sampling_fraction=fraction)
+            ).run(stream)
+            collector.record(fraction, report)
+
+    print(collector.table(args.metric))
+    series = {
+        system: collector.series(system, args.metric)
+        for system in collector.systems()
+    }
+    print()
+    print(line_chart(series, title=f"{args.metric} vs sampling fraction"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="StreamApprox reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list available systems").set_defaults(
+        func=cmd_systems
+    )
+
+    def add_common(p):
+        p.add_argument("--workload", choices=("gaussian", "netflow", "taxi"),
+                       default="gaussian")
+        p.add_argument("--rate", type=float, default=20_000,
+                       help="aggregate arrival rate, items/s")
+        p.add_argument("--duration", type=float, default=12, help="stream seconds")
+        p.add_argument("--window", type=float, default=10.0)
+        p.add_argument("--slide", type=float, default=5.0)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--systems", nargs="+", choices=_DEFAULT_SYSTEMS,
+                       default=_DEFAULT_SYSTEMS)
+
+    compare = sub.add_parser("compare", help="run systems at one fraction")
+    add_common(compare)
+    compare.add_argument("--fraction", type=float, default=0.6)
+    compare.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="sweep the sampling fraction")
+    add_common(sweep)
+    sweep.add_argument("--fractions", nargs="+", type=float,
+                       default=[0.1, 0.2, 0.4, 0.6, 0.8])
+    sweep.add_argument("--metric", choices=("throughput", "accuracy_loss", "latency"),
+                       default="throughput")
+    sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Query budgets and the virtual cost function (§2.3 assumption, §7 sketch).
+
+The paper *assumes* a virtual cost function that translates a user-specified
+query budget into a sample size, and sketches in §7 how one could be built.
+This module implements that sketch so the system is end-to-end runnable:
+
+* **Accuracy budget** — a desired confidence-interval half-width.  Using
+  Equation 9 plus the 68-95-99.7 rule, invert the variance formula to get
+  the per-stratum sample size that achieves the target margin (seeded with
+  variance estimates from the previous interval).
+* **Latency / throughput budget** — a token-cost model in the spirit of
+  Pulsar's virtual data centers [4]: each item costs a pre-advertised number
+  of cost tokens to process; the engine's capacity (tokens per interval,
+  from the simulated-cluster cost model) bounds how many sampled items fit,
+  giving the sampling fraction directly.
+* **Resource budget** — the same token model with capacity derived from an
+  explicit worker/core allotment.
+
+On top sits the **adaptive feedback loop** of §4.2: whenever the measured
+error bound exceeds the user's target, the sample size for subsequent
+intervals is increased (multiplicatively), and gently decayed when there is
+slack — achieving the target accuracy without permanently over-sampling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Sequence
+
+from .error import confidence_z
+from .query import StratumStats
+
+__all__ = [
+    "AccuracyBudget",
+    "LatencyBudget",
+    "ResourceBudget",
+    "CostModel",
+    "VirtualCostFunction",
+    "AdaptiveSampleSizeController",
+]
+
+
+@dataclass(frozen=True)
+class AccuracyBudget:
+    """Target: the MEAN estimate's CI half-width ≤ ``target_margin``."""
+
+    target_margin: float
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.target_margin <= 0:
+            raise ValueError("target_margin must be positive")
+
+
+@dataclass(frozen=True)
+class LatencyBudget:
+    """Target: process each interval within ``max_seconds``."""
+
+    max_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Target: stay within a worker/core allotment."""
+
+    workers: int
+    cores_per_worker: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0 or self.cores_per_worker <= 0:
+            raise ValueError("workers and cores_per_worker must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.workers * self.cores_per_worker
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Pre-advertised token costs, à la Pulsar's virtual data centers.
+
+    ``tokens_per_item`` is the cost of pushing one sampled item through the
+    query; ``tokens_per_core_second`` is one core's processing capacity.
+    """
+
+    tokens_per_item: float = 1.0
+    tokens_per_core_second: float = 100_000.0
+
+    def items_within(self, seconds: float, cores: int) -> int:
+        """How many items fit into ``seconds`` on ``cores`` cores."""
+        capacity = seconds * cores * self.tokens_per_core_second
+        return max(0, int(capacity / self.tokens_per_item))
+
+
+class VirtualCostFunction:
+    """Translate a query budget into per-stratum reservoir sizes (§7).
+
+    The function is stateful: accuracy budgets need variance estimates,
+    which are fed back from the previous interval's `StratumStats` via
+    ``observe``.  Before any observation a conservative default fraction is
+    used.
+    """
+
+    DEFAULT_FRACTION = 0.6  # the paper's most common operating point
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        cores: int = 8,
+        default_fraction: float = DEFAULT_FRACTION,
+    ) -> None:
+        if not 0 < default_fraction <= 1:
+            raise ValueError("default_fraction must be in (0, 1]")
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.cores = cores
+        self.default_fraction = default_fraction
+        self._last_stats: Dict[Hashable, StratumStats] = {}
+
+    def observe(self, strata: Sequence[StratumStats]) -> None:
+        """Feed back the previous interval's per-stratum statistics."""
+        self._last_stats = {s.key: s for s in strata}
+
+    # -- budget dispatch ---------------------------------------------------
+
+    def sample_size(self, budget, expected_items_per_interval: int) -> int:
+        """Per-stratum reservoir capacity for the given budget."""
+        if isinstance(budget, AccuracyBudget):
+            return self._for_accuracy(budget, expected_items_per_interval)
+        if isinstance(budget, LatencyBudget):
+            return self._for_latency(budget, expected_items_per_interval)
+        if isinstance(budget, ResourceBudget):
+            return self._for_resources(budget, expected_items_per_interval)
+        raise TypeError(f"unsupported budget type {type(budget).__name__}")
+
+    def sampling_fraction(self, budget, expected_items_per_interval: int) -> float:
+        """The budget expressed as an overall sampling fraction."""
+        strata = max(1, len(self._last_stats))
+        per_stratum = self.sample_size(budget, expected_items_per_interval)
+        if expected_items_per_interval <= 0:
+            return 1.0
+        return min(1.0, per_stratum * strata / expected_items_per_interval)
+
+    # -- per-budget translations --------------------------------------------
+
+    def _per_stratum_default(self, expected_items: int) -> int:
+        strata = max(1, len(self._last_stats))
+        return max(1, int(expected_items * self.default_fraction / strata))
+
+    def _for_accuracy(self, budget: AccuracyBudget, expected_items: int) -> int:
+        """Invert Equation 9 for the per-stratum Y achieving the margin.
+
+        Assuming X equal-variance strata of size C with weights ω = 1/X, the
+        margin condition  z · sqrt(X · ω² (s²/Y)(C−Y)/C) ≤ m  solves to
+        Y ≥ s² / (m² X / z² + s²/C).  We use the worst (largest s²) stratum
+        from the previous interval to stay conservative.
+        """
+        if not self._last_stats:
+            return self._per_stratum_default(expected_items)
+        z = confidence_z(budget.confidence)
+        x = len(self._last_stats)
+        worst = max(self._last_stats.values(), key=lambda s: s.variance)
+        s2 = worst.variance
+        c = max(1, worst.c)
+        if s2 == 0:
+            return 1
+        denom = (budget.target_margin ** 2) * x / (z ** 2) + s2 / c
+        needed = s2 / denom
+        return max(1, min(c, int(math.ceil(needed))))
+
+    def _for_latency(self, budget: LatencyBudget, expected_items: int) -> int:
+        capacity = self.cost_model.items_within(budget.max_seconds, self.cores)
+        strata = max(1, len(self._last_stats))
+        if expected_items <= 0:
+            return max(1, capacity // strata)
+        allowed = min(capacity, expected_items)
+        return max(1, allowed // strata)
+
+    def _for_resources(self, budget: ResourceBudget, expected_items: int) -> int:
+        # One interval is normalised to one second of the allotted cores.
+        capacity = self.cost_model.items_within(1.0, budget.total_cores)
+        strata = max(1, len(self._last_stats))
+        allowed = min(capacity, expected_items) if expected_items > 0 else capacity
+        return max(1, allowed // strata)
+
+
+@dataclass
+class AdaptiveSampleSizeController:
+    """The §4.2 feedback loop: grow the sample when the error is too large.
+
+    After each interval, call ``update`` with the measured relative error
+    margin.  If it exceeds ``target_relative_margin`` the controller scales
+    the sample size up by ``growth``; when there is at least 2× slack it
+    decays by ``decay`` to reclaim throughput.  Sizes are clamped to
+    [min_size, max_size].
+    """
+
+    initial_size: int
+    target_relative_margin: float
+    growth: float = 1.5
+    decay: float = 0.9
+    min_size: int = 1
+    max_size: int = 1_000_000
+    current_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.initial_size <= 0:
+            raise ValueError("initial_size must be positive")
+        if self.target_relative_margin <= 0:
+            raise ValueError("target_relative_margin must be positive")
+        if self.growth <= 1.0:
+            raise ValueError("growth must exceed 1.0")
+        if not 0 < self.decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.current_size = max(self.min_size, min(self.max_size, self.initial_size))
+
+    def update(self, measured_relative_margin: float) -> int:
+        """Adapt to the last interval's error; return the next sample size."""
+        if measured_relative_margin > self.target_relative_margin:
+            proposed = int(math.ceil(self.current_size * self.growth))
+        elif measured_relative_margin < self.target_relative_margin / 2:
+            proposed = int(self.current_size * self.decay)
+        else:
+            proposed = self.current_size
+        self.current_size = max(self.min_size, min(self.max_size, proposed))
+        return self.current_size

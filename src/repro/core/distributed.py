@@ -1,0 +1,125 @@
+"""Distributed OASRS execution (§3.2, "Distributed execution").
+
+OASRS parallelises without synchronization: a sub-stream handled by ``w``
+workers is split so each worker keeps a *local* reservoir of capacity
+``⌈N_i / w⌉`` plus a local counter.  At interval close, the coordinator
+concatenates the local reservoirs and sums the local counters per stratum,
+then re-derives the Equation-1 weight — no barrier, no shuffle, just one
+O(sample-size) merge.
+
+``DistributedOASRS`` models this: it owns ``w`` `OASRSSampler` instances and
+routes items to workers (round-robin by default, mirroring a partitioned
+Kafka topic; a custom ``route_fn`` can model any partitioner).  The merge
+uses `repro.core.strata.combine_worker_samples`, which the tests verify is
+statistically indistinguishable from a single global reservoir.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Generic, Iterable, List, Optional, TypeVar
+
+from .oasrs import AllocationPolicy, FixedPerStratum, KeyFn, OASRSSampler
+from .strata import WeightedSample, combine_worker_samples
+
+T = TypeVar("T")
+
+__all__ = ["DistributedOASRS"]
+
+
+class _ScaledPolicy(AllocationPolicy):
+    """Wrap a policy so each worker gets a 1/w share of every reservoir."""
+
+    def __init__(self, inner: AllocationPolicy, workers: int) -> None:
+        self._inner = inner
+        self._workers = workers
+
+    def capacity_for(self, key, known_strata: int) -> int:
+        full = self._inner.capacity_for(key, known_strata)
+        return max(1, math.ceil(full / self._workers))
+
+
+class DistributedOASRS(Generic[T]):
+    """OASRS spread over ``workers`` synchronization-free workers.
+
+    Parameters
+    ----------
+    workers:
+        Number of simulated worker nodes.
+    policy:
+        The *global* allocation policy; each worker runs a 1/w-scaled copy.
+    key_fn:
+        Stratum key function, shared by all workers.
+    rng:
+        Seed source; each worker derives an independent child generator so
+        runs are reproducible yet workers are decorrelated.
+    route_fn:
+        Optional ``(item, index) -> worker_id`` partitioner.  Defaults to
+        round-robin on the arrival index.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        policy: AllocationPolicy,
+        key_fn: KeyFn,
+        rng: Optional[random.Random] = None,
+        route_fn: Optional[Callable[[T, int], int]] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        base = rng if rng is not None else random.Random()
+        self._samplers: List[OASRSSampler[T]] = [
+            OASRSSampler(
+                _ScaledPolicy(policy, workers),
+                key_fn=key_fn,
+                rng=random.Random(base.getrandbits(64)),
+            )
+            for _ in range(workers)
+        ]
+        self._route_fn = route_fn
+        self._index = 0
+
+    def offer(self, item: T) -> int:
+        """Route one item to a worker; return the worker id used."""
+        if self._route_fn is not None:
+            worker = self._route_fn(item, self._index) % self.workers
+        else:
+            worker = self._index % self.workers
+        self._index += 1
+        self._samplers[worker].offer(item)
+        return worker
+
+    def offer_many(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+    def close_interval(self) -> WeightedSample[T]:
+        """Merge worker-local samples; the only cross-worker step, barrier-free.
+
+        Each worker's interval is closed independently; the coordinator
+        merge re-derives weights from the summed counters (Equation 1 is
+        stable under this merge because counters add and reservoirs
+        concatenate).
+        """
+        locals_ = [sampler.close_interval() for sampler in self._samplers]
+        self._index = 0
+        return combine_worker_samples(locals_)
+
+    @classmethod
+    def with_fixed_reservoirs(
+        cls,
+        workers: int,
+        per_stratum_capacity: int,
+        key_fn: KeyFn,
+        rng: Optional[random.Random] = None,
+    ) -> "DistributedOASRS[T]":
+        """Convenience constructor for the paper's fixed-size configuration."""
+        return cls(
+            workers=workers,
+            policy=FixedPerStratum(per_stratum_capacity),
+            key_fn=key_fn,
+            rng=rng,
+        )

@@ -1,0 +1,314 @@
+"""Online Adaptive Stratified Reservoir Sampling — OASRS (Algorithm 3).
+
+OASRS is the paper's core contribution.  Within each time interval it:
+
+1. stratifies the arriving stream by a user-supplied key function (the
+   sub-stream source),
+2. runs an independent fixed-capacity reservoir per stratum — so rare
+   strata are never overlooked, and no stratum statistics are needed in
+   advance,
+3. counts every arriving item per stratum (``C_i``), and
+4. on interval close, assigns each stratum the Equation-1 weight
+   ``W_i = C_i / Y_i`` (when the reservoir overflowed) or ``1``.
+
+The sampler is *online*: items are processed one at a time with O(1) work,
+and it is *adaptive*: per-stratum reservoir capacities come from a policy
+that may be re-evaluated every interval (e.g. driven by the query budget,
+see `repro.core.budget`).
+
+Two capacity policies from the paper are provided:
+
+* ``EqualAllocation`` — split the interval's total sample size equally over
+  the strata seen so far (the paper's ``getSampleSize(sampleSize, S)``);
+  newly appearing strata get a reservoir immediately.
+* ``FixedPerStratum`` — a constant reservoir size per stratum, the
+  configuration used in the paper's figures ("a sample of a fixed size for
+  each sub-stream", §5.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    Optional,
+    TypeVar,
+)
+
+from .reservoir import Reservoir
+from .strata import StratumSample, WeightedSample, stratum_weight
+
+T = TypeVar("T")
+Key = Hashable
+KeyFn = Callable[[T], Key]
+
+__all__ = [
+    "AllocationPolicy",
+    "EqualAllocation",
+    "FixedPerStratum",
+    "ProportionalAllocation",
+    "WaterFillingAllocation",
+    "OASRSSampler",
+    "oasrs_sample",
+    "water_filling_capacities",
+]
+
+
+class AllocationPolicy:
+    """Decides the reservoir capacity ``N_i`` for each stratum.
+
+    ``capacity_for`` is consulted when a stratum first appears within an
+    interval, and again at every ``rebalance`` (interval start), so policies
+    may adapt to the evolving set of strata.
+    """
+
+    def capacity_for(self, key: Key, known_strata: int) -> int:
+        raise NotImplementedError
+
+    def rebalance(self, keys) -> Dict[Key, int]:
+        """Capacities for all known strata at an interval boundary."""
+        keys = list(keys)
+        return {k: self.capacity_for(k, len(keys)) for k in keys}
+
+
+class FixedPerStratum(AllocationPolicy):
+    """Every stratum gets the same constant reservoir capacity ``N``."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+
+    def capacity_for(self, key: Key, known_strata: int) -> int:
+        return self.capacity
+
+
+class EqualAllocation(AllocationPolicy):
+    """Split a total per-interval sample size equally across known strata.
+
+    With ``total=sampleSize`` and ``X`` strata seen so far, every stratum
+    gets ``max(1, total // X)`` slots.  This mirrors the paper's
+    ``getSampleSize(sampleSize, S)`` step in Algorithm 3.
+    """
+
+    def __init__(self, total: int) -> None:
+        if total <= 0:
+            raise ValueError(f"total sample size must be positive, got {total}")
+        self.total = total
+
+    def capacity_for(self, key: Key, known_strata: int) -> int:
+        strata = max(1, known_strata)
+        return max(1, self.total // strata)
+
+
+class ProportionalAllocation(AllocationPolicy):
+    """Allocate proportionally to observed stratum sizes (ablation policy).
+
+    Uses the previous interval's counts as a proxy for arrival rates.  This
+    is what Spark's STS effectively requires (a pre-defined per-stratum
+    fraction) and is included to ablate against OASRS's fixed reservoirs.
+    """
+
+    def __init__(self, total: int) -> None:
+        if total <= 0:
+            raise ValueError(f"total sample size must be positive, got {total}")
+        self.total = total
+        self._last_counts: Dict[Key, int] = {}
+
+    def observe(self, counts: Dict[Key, int]) -> None:
+        self._last_counts = dict(counts)
+
+    def capacity_for(self, key: Key, known_strata: int) -> int:
+        total_seen = sum(self._last_counts.values())
+        if total_seen == 0:
+            strata = max(1, known_strata)
+            return max(1, self.total // strata)
+        share = self._last_counts.get(key, 0) / total_seen
+        return max(1, int(round(self.total * share)))
+
+
+def water_filling_capacities(counts: Dict[Key, int], budget: int) -> Dict[Key, int]:
+    """Split a total sample budget into per-stratum reservoir capacities.
+
+    Finds a level ``L`` such that ``Σ min(C_i, L) ≈ budget`` and gives each
+    stratum ``min(C_i, L)`` slots (never below 1): small strata are kept
+    entirely while popular strata share the remaining budget equally.  This
+    is the natural ``getSampleSize`` for "no stratum overlooked, fixed
+    reservoir per stratum, total budget k".
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    active = {k: c for k, c in counts.items() if c > 0}
+    if not active:
+        return {}
+    remaining = budget
+    capacities: Dict[Key, int] = {}
+    pending = sorted(active.items(), key=lambda kc: kc[1])
+    while pending:
+        level = remaining // len(pending)
+        key, count = pending[0]
+        if count <= level:
+            # Smallest stratum fits under the level: keep it entirely.
+            capacities[key] = max(1, count)
+            remaining -= count
+            pending.pop(0)
+        else:
+            # Every remaining stratum is larger than the level: split evenly.
+            for key, _count in pending:
+                capacities[key] = max(1, level)
+            pending = []
+    return capacities
+
+
+class WaterFillingAllocation(AllocationPolicy):
+    """Budgeted adaptive allocation: water-fill using last interval's counts.
+
+    Stays online: the first interval splits the budget equally over strata
+    seen so far; each ``rebalance`` (interval boundary) re-derives
+    capacities from the counts observed in the interval just closed, fed in
+    via ``observe``.
+    """
+
+    def __init__(self, total: int, expected_strata: Optional[int] = None) -> None:
+        if total <= 0:
+            raise ValueError(f"total sample budget must be positive, got {total}")
+        if expected_strata is not None and expected_strata <= 0:
+            raise ValueError("expected_strata must be positive when given")
+        self.total = total
+        self.expected_strata = expected_strata
+        self._last_counts: Dict[Key, int] = {}
+        self._capacities: Dict[Key, int] = {}
+
+    def observe(self, counts: Dict[Key, int]) -> None:
+        self._last_counts = dict(counts)
+        self._capacities = (
+            water_filling_capacities(self._last_counts, self.total)
+            if self._last_counts
+            else {}
+        )
+
+    def capacity_for(self, key: Key, known_strata: int) -> int:
+        if key in self._capacities:
+            return self._capacities[key]
+        # Before the first observation, split the budget over the declared
+        # sources (§2.3: strata are the registered sub-stream sources) or,
+        # lacking a declaration, over the strata seen so far.
+        strata = max(1, self.expected_strata or known_strata)
+        return max(1, self.total // strata)
+
+
+class OASRSSampler(Generic[T]):
+    """Streaming OASRS over consecutive time intervals.
+
+    Parameters
+    ----------
+    policy:
+        Reservoir-capacity policy (``N_i`` per stratum).
+    key_fn:
+        Maps an item to its stratum key (its sub-stream source).
+    rng:
+        Seeded ``random.Random`` for reproducibility.  Each stratum draws
+        from this shared generator.
+
+    Usage
+    -----
+    >>> sampler = OASRSSampler(FixedPerStratum(3), key_fn=lambda x: x[0],
+    ...                        rng=random.Random(1))
+    >>> for item in [("a", 1), ("a", 2), ("b", 5)]:
+    ...     sampler.offer(item)
+    >>> sample = sampler.close_interval()
+    >>> sorted(sample.keys)
+    ['a', 'b']
+
+    ``close_interval`` returns the interval's `WeightedSample` and resets
+    all reservoirs/counters for the next interval, matching Algorithm 2's
+    per-time-interval loop.
+    """
+
+    def __init__(
+        self,
+        policy: AllocationPolicy,
+        key_fn: KeyFn,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._policy = policy
+        self._key_fn = key_fn
+        self._rng = rng if rng is not None else random.Random()
+        self._reservoirs: Dict[Key, Reservoir[T]] = {}
+        self._known_keys: set = set()
+
+    @property
+    def strata_seen(self) -> int:
+        """Number of distinct strata observed since construction."""
+        return len(self._known_keys)
+
+    def offer(self, item: T) -> Key:
+        """Route one arriving item to its stratum's reservoir; O(1)."""
+        key = self._key_fn(item)
+        reservoir = self._reservoirs.get(key)
+        if reservoir is None:
+            self._known_keys.add(key)
+            capacity = self._policy.capacity_for(key, len(self._known_keys))
+            reservoir = Reservoir(capacity, rng=self._rng)
+            self._reservoirs[key] = reservoir
+        reservoir.offer(item)
+        return key
+
+    def offer_many(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+    def peek(self) -> WeightedSample[T]:
+        """Current interval's weighted sample *without* resetting state."""
+        sample: WeightedSample[T] = WeightedSample()
+        for key, reservoir in self._reservoirs.items():
+            kept = tuple(reservoir.items)
+            count = reservoir.seen
+            if count == 0:
+                continue
+            weight = stratum_weight(count, len(kept))
+            sample.add(StratumSample(key, kept, count, weight))
+        return sample
+
+    def close_interval(self) -> WeightedSample[T]:
+        """Finish the interval: emit its sample and reset for the next one.
+
+        Reservoir capacities are re-derived from the policy so adaptive
+        policies (budget feedback, proportional allocation) take effect at
+        interval boundaries, as in Algorithm 2.
+        """
+        sample = self.peek()
+        if isinstance(self._policy, (ProportionalAllocation, WaterFillingAllocation)):
+            self._policy.observe({s.key: s.count for s in sample})
+        capacities = self._policy.rebalance(self._known_keys)
+        self._reservoirs = {
+            key: Reservoir(capacity, rng=self._rng)
+            for key, capacity in capacities.items()
+        }
+        return sample
+
+    def set_policy(self, policy: AllocationPolicy) -> None:
+        """Swap the allocation policy (used by the adaptive budget loop)."""
+        self._policy = policy
+
+
+def oasrs_sample(
+    items: Iterable[T],
+    sample_size_per_stratum: int,
+    key_fn: KeyFn,
+    rng: Optional[random.Random] = None,
+) -> WeightedSample[T]:
+    """One-shot OASRS over a finite batch of items (one time interval).
+
+    This is the ``OASRS(items, sampleSize)`` call of Algorithm 2 specialised
+    to the fixed-per-stratum policy the paper evaluates.
+    """
+    sampler: OASRSSampler[T] = OASRSSampler(
+        FixedPerStratum(sample_size_per_stratum), key_fn=key_fn, rng=rng
+    )
+    sampler.offer_many(items)
+    return sampler.close_interval()

@@ -1,0 +1,186 @@
+"""Weighted quantiles and heavy hitters over OASRS samples (extensions).
+
+The paper supports *linear* queries (Eq. 2–4) and notes they "can be
+extended to support a large range of statistical learning algorithms".
+Two extensions every monitoring deployment asks for next are implemented
+here on top of the same `WeightedSample`:
+
+* **weighted quantiles** — the q-quantile of the original stream is
+  estimated by the q-quantile of the sampled values where each sampled
+  item counts ``W_i`` times.  Not a linear query, so instead of Eq. 6
+  bounds we provide a conservative distribution-free confidence interval
+  via the Dvoretzky–Kiefer–Wolfowitz (DKW) inequality on the weighted
+  empirical CDF.
+* **heavy hitters** — the items (by a key function) whose estimated
+  population frequency exceeds a threshold; frequencies are weighted
+  histogram counts (a linear query), so Eq.-6 error bounds apply per
+  candidate through `repro.core.query.histogram_with_errors`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional, Tuple, TypeVar
+
+from .error import estimate_error
+from .query import ValueFn, histogram_with_errors
+from .strata import WeightedSample
+
+T = TypeVar("T")
+
+__all__ = [
+    "approximate_quantile",
+    "approximate_median",
+    "QuantileEstimate",
+    "HeavyHitter",
+    "heavy_hitters",
+]
+
+
+@dataclass(frozen=True)
+class QuantileEstimate:
+    """A quantile estimate with a DKW-style confidence interval.
+
+    ``lower``/``upper`` are values of the sampled support bracketing the
+    quantile at the requested confidence (conservative: DKW treats the
+    weighted sample as ``effective_n`` i.i.d. draws, where ``effective_n``
+    is the Kish effective sample size of the weights).
+    """
+
+    q: float
+    value: float
+    lower: float
+    upper: float
+    confidence: float
+    effective_n: float
+
+
+def _weighted_points(
+    sample: WeightedSample[T], value_fn: Optional[ValueFn]
+) -> List[Tuple[float, float]]:
+    """Sorted (value, weight) pairs across all strata."""
+    points: List[Tuple[float, float]] = []
+    for stratum in sample:
+        for value in stratum.values(value_fn):
+            points.append((value, stratum.weight))
+    points.sort(key=lambda vw: vw[0])
+    return points
+
+
+def _kish_effective_n(weights: List[float]) -> float:
+    """Kish effective sample size: (Σw)² / Σw² — discounts unequal weights."""
+    total = math.fsum(weights)
+    squares = math.fsum(w * w for w in weights)
+    if squares == 0:
+        return 0.0
+    return total * total / squares
+
+
+def approximate_quantile(
+    sample: WeightedSample[T],
+    q: float,
+    value_fn: Optional[ValueFn] = None,
+    confidence: float = 0.95,
+) -> QuantileEstimate:
+    """Estimate the stream's q-quantile from a weighted sample.
+
+    The point estimate is the smallest sampled value whose cumulative
+    weight reaches ``q`` of the total.  The interval comes from the DKW
+    inequality: with probability ≥ confidence the true CDF is within
+    ``ε = sqrt(ln(2/α) / (2 n_eff))`` of the weighted empirical CDF, so the
+    values at cumulative ranks ``q ± ε`` bracket the true quantile.
+    """
+    if not 0 < q < 1:
+        raise ValueError(f"q must be in (0, 1), got {q}")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    points = _weighted_points(sample, value_fn)
+    if not points:
+        raise ValueError("cannot take a quantile of an empty sample")
+
+    weights = [w for _v, w in points]
+    total = math.fsum(weights)
+    effective_n = _kish_effective_n(weights)
+    alpha = 1.0 - confidence
+    if effective_n > 0:
+        epsilon = math.sqrt(math.log(2.0 / alpha) / (2.0 * effective_n))
+    else:
+        epsilon = 1.0
+
+    def value_at(rank_fraction: float) -> float:
+        target = min(max(rank_fraction, 0.0), 1.0) * total
+        cumulative = 0.0
+        for value, weight in points:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return points[-1][0]
+
+    return QuantileEstimate(
+        q=q,
+        value=value_at(q),
+        lower=value_at(q - epsilon),
+        upper=value_at(q + epsilon),
+        confidence=confidence,
+        effective_n=effective_n,
+    )
+
+
+def approximate_median(
+    sample: WeightedSample[T],
+    value_fn: Optional[ValueFn] = None,
+    confidence: float = 0.95,
+) -> QuantileEstimate:
+    """Convenience wrapper: the weighted median with its DKW interval."""
+    return approximate_quantile(sample, 0.5, value_fn=value_fn, confidence=confidence)
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """One frequent key with its estimated count and ± error margin."""
+
+    key: Hashable
+    estimated_count: float
+    margin: float
+    share: float
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.estimated_count - self.margin, self.estimated_count + self.margin)
+
+
+def heavy_hitters(
+    sample: WeightedSample[T],
+    key_fn: Callable[[T], Hashable],
+    threshold: float = 0.01,
+    confidence: float = 0.95,
+) -> List[HeavyHitter]:
+    """Keys whose estimated population share exceeds ``threshold``.
+
+    Frequencies are weighted histogram counts — a linear query — so each
+    candidate carries an Equation-6 error bound.  Results are sorted by
+    estimated count, descending.  A key is reported when even the *lower*
+    end of its interval could clear the threshold (no false dismissals at
+    the stated confidence).
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    population = sample.total_count
+    if population == 0:
+        return []
+    hitters: List[HeavyHitter] = []
+    for key, result in histogram_with_errors(sample, bin_fn=key_fn).items():
+        bound = estimate_error(result, confidence=confidence)
+        share = result.value / population
+        if (result.value + bound.margin) / population >= threshold:
+            hitters.append(
+                HeavyHitter(
+                    key=key,
+                    estimated_count=result.value,
+                    margin=bound.margin,
+                    share=share,
+                )
+            )
+    hitters.sort(key=lambda h: -h.estimated_count)
+    return hitters

@@ -1,0 +1,232 @@
+"""Approximate linear queries over weighted samples (§3.2, Equations 2–4).
+
+OASRS supports *linear* queries — anything expressible as a weighted sum of
+per-item values.  Given the interval's `WeightedSample`, the estimators are:
+
+* ``SUM_i  = (Σ_j I_{i,j}) × W_i``                 (Equation 2, per stratum)
+* ``SUM    = Σ_i SUM_i``                           (Equation 3)
+* ``MEAN   = SUM / Σ_i C_i``                       (Equation 4)
+* ``COUNT  = Σ_i C_i`` (exact — counters are maintained, not sampled)
+* per-group variants (grouped sum/mean/count/histogram) that treat each
+  group independently, which is how the case studies use the system
+  (traffic per protocol, mean distance per borough).
+
+Every estimator returns the per-stratum pieces alongside the scalar so that
+`repro.core.error` can attach variance-based error bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, List, Optional, TypeVar
+
+from .strata import StratumSample, WeightedSample
+
+T = TypeVar("T")
+ValueFn = Callable[[T], float]
+
+__all__ = [
+    "StratumStats",
+    "approximate_sum",
+    "approximate_mean",
+    "approximate_count",
+    "grouped_sum",
+    "grouped_sum_results",
+    "grouped_mean",
+    "histogram",
+    "histogram_with_errors",
+    "QueryResult",
+]
+
+
+@dataclass(frozen=True)
+class StratumStats:
+    """Per-stratum sufficient statistics feeding Equations 2–9.
+
+    ``y`` is the sample size ``Y_i``, ``c`` the population counter ``C_i``,
+    ``weight`` the Equation-1 weight, ``mean``/``variance`` the sample mean
+    ``Ī_i`` and unbiased sample variance ``s_i²`` (Equation 7).
+    """
+
+    key: Hashable
+    y: int
+    c: int
+    weight: float
+    total: float
+    mean: float
+    variance: float
+
+    @staticmethod
+    def from_stratum(
+        stratum: StratumSample[T], value_fn: Optional[ValueFn] = None
+    ) -> "StratumStats":
+        values = stratum.values(value_fn)
+        y = len(values)
+        total = math.fsum(values)
+        mean = total / y if y else 0.0
+        if y > 1:
+            variance = math.fsum((v - mean) ** 2 for v in values) / (y - 1)
+        else:
+            variance = 0.0
+        return StratumStats(
+            key=stratum.key,
+            y=y,
+            c=stratum.count,
+            weight=stratum.weight,
+            total=total,
+            mean=mean,
+            variance=variance,
+        )
+
+
+@dataclass(frozen=True)
+class QueryResult(Generic[T]):
+    """An approximate scalar plus the per-stratum statistics behind it."""
+
+    value: float
+    strata: List[StratumStats]
+    kind: str
+
+    def __float__(self) -> float:
+        return self.value
+
+
+def _stats(
+    sample: WeightedSample[T], value_fn: Optional[ValueFn]
+) -> List[StratumStats]:
+    return [StratumStats.from_stratum(s, value_fn) for s in sample]
+
+
+def approximate_sum(
+    sample: WeightedSample[T], value_fn: Optional[ValueFn] = None
+) -> QueryResult[T]:
+    """Equations 2–3: the weighted-sum estimator of the interval total."""
+    strata = _stats(sample, value_fn)
+    value = math.fsum(s.total * s.weight for s in strata)
+    return QueryResult(value=value, strata=strata, kind="sum")
+
+
+def approximate_mean(
+    sample: WeightedSample[T], value_fn: Optional[ValueFn] = None
+) -> QueryResult[T]:
+    """Equation 4: approximate mean = SUM / Σ C_i (0 for an empty interval)."""
+    strata = _stats(sample, value_fn)
+    population = sum(s.c for s in strata)
+    if population == 0:
+        return QueryResult(value=0.0, strata=strata, kind="mean")
+    total = math.fsum(s.total * s.weight for s in strata)
+    return QueryResult(value=total / population, strata=strata, kind="mean")
+
+
+def approximate_count(sample: WeightedSample[T]) -> QueryResult[T]:
+    """Item count.  Exact, because OASRS keeps the per-stratum counters."""
+    strata = _stats(sample, value_fn=lambda _x: 1.0)
+    return QueryResult(value=float(sum(s.c for s in strata)), strata=strata, kind="count")
+
+
+def grouped_sum(
+    sample: WeightedSample[T],
+    group_fn: Callable[[T], Hashable],
+    value_fn: Optional[ValueFn] = None,
+) -> Dict[Hashable, float]:
+    """Weighted sum per group (e.g. bytes per protocol).
+
+    Groups may cut across strata; each item contributes
+    ``value × stratum_weight`` to its group, which stays a linear query.
+    """
+    vf: ValueFn = (lambda x: float(x)) if value_fn is None else value_fn  # type: ignore[assignment,return-value]
+    out: Dict[Hashable, float] = {}
+    for stratum in sample:
+        for item in stratum.items:
+            group = group_fn(item)
+            out[group] = out.get(group, 0.0) + vf(item) * stratum.weight
+    return out
+
+
+def grouped_mean(
+    sample: WeightedSample[T],
+    group_fn: Callable[[T], Hashable],
+    value_fn: Optional[ValueFn] = None,
+) -> Dict[Hashable, float]:
+    """Weighted mean per group (e.g. mean trip distance per borough).
+
+    The denominator is the *estimated* group population Σ weight, because
+    exact per-group counters only exist when groups coincide with strata.
+    When they do coincide (the common case in the paper's case studies) the
+    estimate equals Equation 4 computed per stratum.
+    """
+    vf: ValueFn = (lambda x: float(x)) if value_fn is None else value_fn  # type: ignore[assignment,return-value]
+    sums: Dict[Hashable, float] = {}
+    weights: Dict[Hashable, float] = {}
+    for stratum in sample:
+        for item in stratum.items:
+            group = group_fn(item)
+            sums[group] = sums.get(group, 0.0) + vf(item) * stratum.weight
+            weights[group] = weights.get(group, 0.0) + stratum.weight
+    return {g: sums[g] / weights[g] for g in sums if weights[g] > 0}
+
+
+def histogram(
+    sample: WeightedSample[T],
+    bin_fn: Callable[[T], Hashable],
+) -> Dict[Hashable, float]:
+    """Weighted histogram: estimated population count per bin."""
+    return grouped_sum(sample, group_fn=bin_fn, value_fn=lambda _x: 1.0)
+
+
+def grouped_sum_results(
+    sample: WeightedSample[T],
+    group_fn: Callable[[T], Hashable],
+    value_fn: Optional[ValueFn] = None,
+) -> Dict[Hashable, "QueryResult[T]"]:
+    """Per-group SUM estimates *with per-stratum statistics*, one per group.
+
+    Each group's estimate is itself a linear query over the restriction of
+    every stratum to that group, so Equation 6 applies per group — this is
+    what powers per-bin error bounds on histograms and per-protocol /
+    per-borough bounds in the case studies.  The restricted stratum keeps
+    the full stratum weight; its count is estimated as
+    ``round(members × W_i)`` (exact whenever groups coincide with strata).
+    """
+    vf: ValueFn = (lambda x: float(x)) if value_fn is None else value_fn  # type: ignore[assignment,return-value]
+    groups = {group_fn(item) for stratum in sample for item in stratum.items}
+
+    out: Dict[Hashable, QueryResult[T]] = {}
+    for group in groups:
+        # A group sum is the linear query with the *extended* value function
+        # v'(x) = v(x)·1[x ∈ group], evaluated over every stratum's full
+        # sample — so Y_i, C_i and the Equation-7 variance all come from the
+        # whole stratum, and the variance correctly reflects how uncertain
+        # the group's membership count is, not just its members' values.
+        strata: List[StratumStats] = []
+        for stratum in sample:
+            values = [
+                vf(item) if group_fn(item) == group else 0.0
+                for item in stratum.items
+            ]
+            y = len(values)
+            if y == 0:
+                continue
+            total = math.fsum(values)
+            mean = total / y
+            variance = (
+                math.fsum((v - mean) ** 2 for v in values) / (y - 1) if y > 1 else 0.0
+            )
+            strata.append(
+                StratumStats(
+                    key=stratum.key, y=y, c=stratum.count, weight=stratum.weight,
+                    total=total, mean=mean, variance=variance,
+                )
+            )
+        value = math.fsum(s.total * s.weight for s in strata)
+        out[group] = QueryResult(value=value, strata=strata, kind="sum")
+    return out
+
+
+def histogram_with_errors(
+    sample: WeightedSample[T],
+    bin_fn: Callable[[T], Hashable],
+) -> Dict[Hashable, "QueryResult[T]"]:
+    """Histogram bins as SUM queries, ready for `estimate_error` per bin."""
+    return grouped_sum_results(sample, group_fn=bin_fn, value_fn=lambda _x: 1.0)

@@ -1,0 +1,169 @@
+"""Fault tolerance for distributed OASRS (systems extension).
+
+§3.2's distributed execution keeps per-worker reservoirs and counters with
+no synchronization — which also means a worker crash mid-interval loses
+only *its own* reservoir and counter, never global state.  This module
+makes that recovery story concrete:
+
+* `ResilientDistributedOASRS` wraps `DistributedOASRS`-style execution
+  with per-worker liveness: a failed worker's partial sample is discarded,
+  its routed items are re-routed to survivors from the failure point on,
+  and the interval's weights remain *correct for the items that survived*
+  (Equation 1 is per-stratum over observed counts, so dropping a worker's
+  counts keeps the estimator unbiased over the remaining sub-population —
+  the estimate simply covers fewer items, and the error bound widens
+  accordingly).
+* Optional **checkpointing**: a worker can snapshot (reservoir, counters)
+  at interval boundaries; on failure the last checkpoint is restored, so
+  only the items since the checkpoint are lost rather than the interval.
+
+This is deliberately simple — the point the tests establish is that the
+estimator's correctness degrades gracefully and predictably under worker
+loss, with no coordination protocol required.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generic, Iterable, List, Optional, Set, Tuple, TypeVar
+
+from .oasrs import AllocationPolicy, KeyFn, OASRSSampler
+from .strata import WeightedSample, combine_worker_samples
+
+T = TypeVar("T")
+
+__all__ = ["WorkerFailure", "ResilientDistributedOASRS"]
+
+
+class WorkerFailure(Exception):
+    """Raised internally to simulate a worker crash (failure injection)."""
+
+
+class _Worker(Generic[T]):
+    """One sampling worker with snapshot/restore support."""
+
+    def __init__(self, policy: AllocationPolicy, key_fn: KeyFn, seed: int) -> None:
+        self._policy = policy
+        self._key_fn = key_fn
+        self._seed = seed
+        self.sampler: OASRSSampler[T] = OASRSSampler(
+            policy, key_fn=key_fn, rng=random.Random(seed)
+        )
+        self.alive = True
+        self.items_since_checkpoint = 0
+        self._checkpoint: Optional[WeightedSample[T]] = None
+
+    def offer(self, item: T) -> None:
+        self.sampler.offer(item)
+        self.items_since_checkpoint += 1
+
+    def checkpoint(self) -> None:
+        """Snapshot the current interval state (cheap: the sample is small)."""
+        self._checkpoint = self.sampler.peek()
+        self.items_since_checkpoint = 0
+
+    def crash(self) -> None:
+        self.alive = False
+
+    def recover(self) -> Optional[WeightedSample[T]]:
+        """Return the last checkpointed partial sample, if any, and restart."""
+        restored = self._checkpoint
+        self.sampler = OASRSSampler(
+            self._policy, key_fn=self._key_fn, rng=random.Random(self._seed + 1)
+        )
+        self.alive = True
+        self._checkpoint = None
+        self.items_since_checkpoint = 0
+        return restored
+
+
+class ResilientDistributedOASRS(Generic[T]):
+    """Distributed OASRS that tolerates worker crashes mid-interval.
+
+    Parameters mirror `DistributedOASRS`; additionally ``checkpoint_every``
+    (items per worker) bounds the loss window when a worker dies.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        policy_factory,
+        key_fn: KeyFn,
+        rng: Optional[random.Random] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive when given")
+        base = rng if rng is not None else random.Random()
+        self.workers: List[_Worker[T]] = [
+            _Worker(policy_factory(), key_fn, seed=base.getrandbits(32))
+            for _ in range(workers)
+        ]
+        self.checkpoint_every = checkpoint_every
+        self._recovered_partials: List[WeightedSample[T]] = []
+        self._index = 0
+        self.items_lost = 0
+        self.failures_seen = 0
+
+    # -- routing ----------------------------------------------------------
+
+    def _alive_workers(self) -> List[int]:
+        return [i for i, w in enumerate(self.workers) if w.alive]
+
+    def offer(self, item: T) -> int:
+        """Route one item to a live worker (round-robin over survivors)."""
+        alive = self._alive_workers()
+        if not alive:
+            raise RuntimeError("all workers have failed")
+        worker_id = alive[self._index % len(alive)]
+        self._index += 1
+        worker = self.workers[worker_id]
+        worker.offer(item)
+        if (
+            self.checkpoint_every is not None
+            and worker.items_since_checkpoint >= self.checkpoint_every
+        ):
+            worker.checkpoint()
+        return worker_id
+
+    def offer_many(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+    # -- failure injection ---------------------------------------------------
+
+    def fail_worker(self, worker_id: int) -> None:
+        """Crash one worker: its un-checkpointed interval state is lost.
+
+        If the worker had a checkpoint, that partial sample is salvaged and
+        will be merged into the interval's result; everything it absorbed
+        since the checkpoint is gone (counted in ``items_lost``).
+        """
+        worker = self.workers[worker_id]
+        if not worker.alive:
+            return
+        self.failures_seen += 1
+        self.items_lost += worker.items_since_checkpoint
+        worker.crash()
+        restored = worker.recover()
+        if restored is not None and restored.total_count > 0:
+            self._recovered_partials.append(restored)
+
+    # -- interval close ----------------------------------------------------------
+
+    def close_interval(self) -> WeightedSample[T]:
+        """Merge survivors' samples (plus salvaged checkpoints) for the interval."""
+        parts = [w.sampler.close_interval() for w in self.workers if w.alive]
+        parts.extend(self._recovered_partials)
+        self._recovered_partials = []
+        self._index = 0
+        self.items_lost = 0
+        return combine_worker_samples(parts)
+
+    def coverage(self, items_routed: int) -> float:
+        """Fraction of routed items still represented after failures."""
+        if items_routed == 0:
+            return 1.0
+        return max(0.0, 1.0 - self.items_lost / items_routed)

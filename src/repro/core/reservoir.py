@@ -1,0 +1,126 @@
+"""Classic reservoir sampling (Algorithm 1 of the paper).
+
+Reservoir sampling selects a uniform random sample of a fixed maximum size
+from a stream whose length is unknown in advance (Vitter, 1985).  The first
+``capacity`` items fill the reservoir; after that the *i*-th arriving item
+(1-based) replaces a uniformly chosen resident with probability
+``capacity / i``.  Every item seen so far therefore has the same probability
+``capacity / i`` of being in the reservoir — the textbook invariant the
+paper's Algorithm 1 relies on.
+
+The implementation is intentionally dependency-free and allocation-light:
+one list of at most ``capacity`` items and one integer counter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Reservoir", "reservoir_sample"]
+
+
+class Reservoir(Generic[T]):
+    """A fixed-capacity uniform sample over a stream of unknown length.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of items retained.  Must be a positive integer.
+    rng:
+        Source of randomness.  Pass a seeded ``random.Random`` for
+        reproducible runs; defaults to a fresh unseeded generator.
+
+    Examples
+    --------
+    >>> r = Reservoir(3, rng=random.Random(7))
+    >>> for x in range(100):
+    ...     r.offer(x)
+    >>> len(r)
+    3
+    >>> r.seen
+    100
+    """
+
+    __slots__ = ("_capacity", "_items", "_seen", "_rng")
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"reservoir capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._items: List[T] = []
+        self._seen = 0
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of items the reservoir retains."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Total number of items offered so far (the counter ``C`` in §3.2)."""
+        return self._seen
+
+    @property
+    def items(self) -> List[T]:
+        """The current sample (a copy; at most ``capacity`` items)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Reservoir(capacity={self._capacity}, size={len(self._items)}, "
+            f"seen={self._seen})"
+        )
+
+    def offer(self, item: T) -> bool:
+        """Offer one stream item; return True if it entered the reservoir.
+
+        Implements Algorithm 1: fill until full, then accept the *i*-th item
+        with probability ``capacity / i`` and evict a uniform resident.
+        """
+        self._seen += 1
+        if len(self._items) < self._capacity:
+            self._items.append(item)
+            return True
+        # Accept with probability capacity / i where i == self._seen.
+        if self._rng.random() * self._seen < self._capacity:
+            j = self._rng.randrange(self._capacity)
+            self._items[j] = item
+            return True
+        return False
+
+    def extend(self, items: Iterable[T]) -> None:
+        """Offer every item of ``items`` in order."""
+        for item in items:
+            self.offer(item)
+
+    def reset(self) -> None:
+        """Empty the reservoir and zero the counter (new time interval)."""
+        self._items.clear()
+        self._seen = 0
+
+    def is_saturated(self) -> bool:
+        """True once more items were seen than the reservoir can hold."""
+        return self._seen > self._capacity
+
+
+def reservoir_sample(
+    items: Iterable[T], capacity: int, rng: Optional[random.Random] = None
+) -> List[T]:
+    """One-shot helper: uniform sample of at most ``capacity`` from ``items``.
+
+    >>> reservoir_sample(range(10), 20, rng=random.Random(0)) == list(range(10))
+    True
+    """
+    reservoir: Reservoir[T] = Reservoir(capacity, rng=rng)
+    reservoir.extend(items)
+    return reservoir.items

@@ -1,0 +1,204 @@
+"""Stratum bookkeeping for stratified sampling (§3.2, Equation 1).
+
+A *stratum* is one sub-stream of the input: data items that share a source
+and therefore (by the paper's design assumption, §2.3) follow the same
+distribution.  During one time interval OASRS keeps, per stratum ``S_i``:
+
+* a fixed-capacity reservoir of sampled items (``N_i`` slots),
+* a counter ``C_i`` of items received, and
+* a weight ``W_i`` derived from the two (Equation 1)::
+
+      W_i = C_i / N_i   if C_i > N_i    (each kept item stands for C_i/N_i)
+      W_i = 1           if C_i <= N_i   (every item was kept)
+
+``StratumSample`` is the immutable per-stratum result handed to the query
+and error-estimation layers; ``WeightedSample`` bundles all strata of one
+interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+Key = Hashable
+
+__all__ = ["StratumSample", "WeightedSample", "stratum_weight"]
+
+
+def stratum_weight(count: int, sample_size: int) -> float:
+    """Equation 1: the representation weight of one sampled item.
+
+    ``count`` is ``C_i`` (items received from the stratum this interval) and
+    ``sample_size`` is ``Y_i`` (items actually kept).  When the stratum
+    overflowed its reservoir each kept item represents ``C_i / Y_i`` original
+    items; otherwise every item represents only itself.
+    """
+    if count < 0:
+        raise ValueError(f"stratum count must be non-negative, got {count}")
+    if sample_size < 0:
+        raise ValueError(f"sample size must be non-negative, got {sample_size}")
+    if sample_size == 0:
+        return 1.0
+    if count > sample_size:
+        return count / sample_size
+    return 1.0
+
+
+@dataclass(frozen=True)
+class StratumSample(Generic[T]):
+    """The sample drawn from one stratum during one time interval.
+
+    Attributes
+    ----------
+    key:
+        The stratum identifier (sub-stream source).
+    items:
+        The ``Y_i`` sampled items.
+    count:
+        ``C_i`` — how many items the stratum contributed in total.
+    weight:
+        ``W_i`` from Equation 1.
+    """
+
+    key: Key
+    items: Tuple[T, ...]
+    count: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.count < len(self.items):
+            raise ValueError(
+                f"stratum {self.key!r}: count {self.count} smaller than "
+                f"sample size {len(self.items)}"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"stratum {self.key!r}: weight must be positive")
+
+    @property
+    def sample_size(self) -> int:
+        """``Y_i`` — number of items kept from this stratum."""
+        return len(self.items)
+
+    @property
+    def estimated_count(self) -> float:
+        """``Y_i * W_i`` — the stratum population the sample stands for."""
+        return self.sample_size * self.weight
+
+    def values(self, value_fn=None) -> List[float]:
+        """Numeric values of the sampled items (identity by default)."""
+        if value_fn is None:
+            return [float(x) for x in self.items]  # type: ignore[arg-type]
+        return [float(value_fn(x)) for x in self.items]
+
+
+@dataclass
+class WeightedSample(Generic[T]):
+    """All strata sampled within one time interval (the pair *sample, W*).
+
+    This is what ``OASRS(items, sampleSize)`` in Algorithm 2/3 returns: the
+    union of per-stratum samples together with their weights, ready for an
+    approximate linear query (`repro.core.query`) and error estimation
+    (`repro.core.error`).
+    """
+
+    strata: Dict[Key, StratumSample[T]] = field(default_factory=dict)
+
+    def add(self, stratum: StratumSample[T]) -> None:
+        if stratum.key in self.strata:
+            raise KeyError(f"stratum {stratum.key!r} already present")
+        self.strata[stratum.key] = stratum
+
+    def __len__(self) -> int:
+        return len(self.strata)
+
+    def __iter__(self):
+        return iter(self.strata.values())
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.strata
+
+    def __getitem__(self, key: Key) -> StratumSample[T]:
+        return self.strata[key]
+
+    @property
+    def keys(self) -> List[Key]:
+        return list(self.strata.keys())
+
+    @property
+    def total_items(self) -> int:
+        """Total sampled items across strata (Σ Y_i)."""
+        return sum(s.sample_size for s in self)
+
+    @property
+    def total_count(self) -> int:
+        """Total received items across strata (Σ C_i)."""
+        return sum(s.count for s in self)
+
+    @property
+    def sampling_fraction(self) -> float:
+        """Achieved fraction Σ Y_i / Σ C_i (0 when the interval was empty)."""
+        total = self.total_count
+        if total == 0:
+            return 0.0
+        return self.total_items / total
+
+    def all_items(self) -> List[T]:
+        """Flat list of every sampled item (order: stratum insertion order)."""
+        out: List[T] = []
+        for stratum in self:
+            out.extend(stratum.items)
+        return out
+
+    def weighted_items(self) -> List[Tuple[T, float]]:
+        """Flat ``(item, weight)`` pairs across all strata."""
+        out: List[Tuple[T, float]] = []
+        for stratum in self:
+            out.extend((item, stratum.weight) for item in stratum.items)
+        return out
+
+    def merge(self, other: "WeightedSample[T]") -> "WeightedSample[T]":
+        """Merge two interval samples over *disjoint* stratum partitions.
+
+        Used by the distributed execution path (§3.2): worker-local samples
+        of the *same* stratum are combined by summing counts and
+        concatenating items, then re-deriving the weight from Equation 1.
+        """
+        merged: WeightedSample[T] = WeightedSample()
+        for key in {*self.strata, *other.strata}:
+            mine = self.strata.get(key)
+            theirs = other.strata.get(key)
+            if mine is None:
+                merged.add(theirs)  # type: ignore[arg-type]
+            elif theirs is None:
+                merged.add(mine)
+            else:
+                items = mine.items + theirs.items
+                count = mine.count + theirs.count
+                weight = stratum_weight(count, len(items))
+                merged.add(StratumSample(key, items, count, weight))
+        return merged
+
+    def scaled_total(self, value_fn=None) -> float:
+        """Convenience: the weighted SUM estimate (Equations 2–3)."""
+        total = 0.0
+        for stratum in self:
+            total += math.fsum(stratum.values(value_fn)) * stratum.weight
+        return total
+
+
+def combine_worker_samples(
+    samples: Sequence[WeightedSample[T]],
+) -> WeightedSample[T]:
+    """Fold worker-local samples into one, re-deriving weights per stratum."""
+    if not samples:
+        return WeightedSample()
+    merged = samples[0]
+    for sample in samples[1:]:
+        merged = merged.merge(sample)
+    return merged
+
+
+__all__.append("combine_worker_samples")

@@ -1,0 +1,172 @@
+"""Online stratification of unlabeled streams (§7, "Stratified sampling").
+
+OASRS assumes the input is already stratified by source (§2.3).  For
+streams where the source is unavailable — or where one physical source
+mixes several distributions — §7 sketches two pre-processing strategies:
+a bootstrap-based estimator and a semi-supervised classifier.  This module
+implements practical, dependency-free versions of both, each exposing the
+same ``assign(value) -> stratum_key`` interface so it can serve as the
+``key_fn`` of an `OASRSSampler`:
+
+* `QuantileStratifier` — the bootstrap flavour: maintain a reservoir-based
+  sketch of the value distribution ("bootstrap sample"), periodically
+  re-derive ``k`` equal-probability quantile buckets, and assign each
+  arriving value to its bucket.  Robust, no assumptions on shape.
+* `GaussianMixtureStratifier` — the semi-supervised flavour: an online
+  1-D k-means (a hard-assignment EM) over running cluster means; items
+  are labelled with the nearest cluster, and cluster centres track drift
+  with a configurable learning rate.  Works with an optional warm-start
+  of labelled seeds (the "semi-supervised" part).
+
+Both stratifiers deliberately *stabilise* their keys: a value's stratum is
+the bucket/cluster index, so reservoirs persist across interval boundaries
+even as boundaries shift slightly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional, Sequence
+
+from .reservoir import Reservoir
+
+__all__ = ["QuantileStratifier", "GaussianMixtureStratifier"]
+
+
+class QuantileStratifier:
+    """Bootstrap-style stratifier: equal-probability quantile buckets.
+
+    Keeps a sketch reservoir of recent values; every ``refresh_every``
+    observations the bucket boundaries are recomputed as the sketch's
+    ``k``-quantiles.  Until the first refresh every value maps to bucket 0
+    (one stratum), which is safe: OASRS degrades to plain reservoir
+    sampling, never to bias.
+
+    Parameters
+    ----------
+    strata:
+        Number of buckets ``k`` (≥ 1).
+    sketch_size:
+        Reservoir capacity of the distribution sketch.
+    refresh_every:
+        Recompute boundaries after this many new observations.
+    rng:
+        Randomness for the sketch reservoir.
+    """
+
+    def __init__(
+        self,
+        strata: int,
+        sketch_size: int = 512,
+        refresh_every: int = 256,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if strata <= 0:
+            raise ValueError(f"strata must be positive, got {strata}")
+        if sketch_size < strata:
+            raise ValueError("sketch_size must be at least the stratum count")
+        if refresh_every <= 0:
+            raise ValueError("refresh_every must be positive")
+        self.strata = strata
+        self.refresh_every = refresh_every
+        self._sketch: Reservoir[float] = Reservoir(sketch_size, rng=rng)
+        self._since_refresh = 0
+        self._boundaries: List[float] = []
+
+    @property
+    def boundaries(self) -> List[float]:
+        """Current bucket boundaries (k − 1 ascending cut points)."""
+        return list(self._boundaries)
+
+    def _refresh(self) -> None:
+        values = sorted(self._sketch.items)
+        if len(values) < self.strata:
+            return
+        cuts = []
+        for i in range(1, self.strata):
+            # Nearest-rank quantile of the bootstrap sample.
+            idx = min(len(values) - 1, int(round(i * len(values) / self.strata)))
+            cuts.append(values[idx])
+        # De-duplicate (heavy ties can collapse buckets; fewer strata is fine).
+        deduped: List[float] = []
+        for cut in cuts:
+            if not deduped or cut > deduped[-1]:
+                deduped.append(cut)
+        self._boundaries = deduped
+
+    def observe(self, value: float) -> None:
+        """Feed the sketch without assigning (e.g. during warm-up)."""
+        self._sketch.offer(float(value))
+        self._since_refresh += 1
+        if self._since_refresh >= self.refresh_every:
+            self._refresh()
+            self._since_refresh = 0
+
+    def assign(self, value: float) -> int:
+        """Observe the value and return its stratum key (bucket index)."""
+        self.observe(value)
+        if not self._boundaries:
+            return 0
+        return bisect.bisect_right(self._boundaries, float(value))
+
+
+class GaussianMixtureStratifier:
+    """Semi-supervised stratifier: online 1-D k-means with drift tracking.
+
+    Cluster centres are initialised from ``seeds`` (labelled examples, one
+    list per stratum) when given — otherwise from the first ``k`` distinct
+    values — and updated toward each assigned value with step
+    ``learning_rate`` so the strata follow non-stationary streams.
+    """
+
+    def __init__(
+        self,
+        strata: int,
+        seeds: Optional[Sequence[Sequence[float]]] = None,
+        learning_rate: float = 0.05,
+    ) -> None:
+        if strata <= 0:
+            raise ValueError(f"strata must be positive, got {strata}")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if seeds is not None and len(seeds) != strata:
+            raise ValueError(
+                f"need one seed group per stratum: got {len(seeds)} for {strata}"
+            )
+        self.strata = strata
+        self.learning_rate = learning_rate
+        self._centres: List[float] = []
+        if seeds is not None:
+            for group in seeds:
+                if not group:
+                    raise ValueError("seed groups must be non-empty")
+                self._centres.append(sum(group) / len(group))
+            self._centres.sort()
+
+    @property
+    def centres(self) -> List[float]:
+        return list(self._centres)
+
+    def assign(self, value: float) -> int:
+        """Return the stratum (nearest centre), updating the model online."""
+        v = float(value)
+        if len(self._centres) < self.strata:
+            # Bootstrap phase: adopt sufficiently novel values as centres.
+            if not self._centres or all(
+                abs(v - c) > 1e-12 for c in self._centres
+            ):
+                self._centres.append(v)
+                self._centres.sort()
+            return self._nearest(v)
+        idx = self._nearest(v)
+        self._centres[idx] += self.learning_rate * (v - self._centres[idx])
+        return idx
+
+    def _nearest(self, value: float) -> int:
+        best, best_dist = 0, float("inf")
+        for i, centre in enumerate(self._centres):
+            dist = abs(value - centre)
+            if dist < best_dist:
+                best, best_dist = i, dist
+        return best

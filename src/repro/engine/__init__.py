@@ -1,0 +1,19 @@
+"""Stream-processing substrates: the simulated cluster and both engines.
+
+* `repro.engine.costs` / `repro.engine.cluster` — the virtual-time cost
+  model standing in for the paper's 17-node testbed (see DESIGN.md §2),
+* `repro.engine.batched` — a Spark-Streaming-like micro-batch engine
+  (MiniRDD + DStream),
+* `repro.engine.pipelined` — a Flink-like push-based operator dataflow.
+"""
+
+from .cluster import ExecutionStats, SimulatedCluster, VirtualClock
+from .costs import DEFAULT_COSTS, CostProfile
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "CostProfile",
+    "ExecutionStats",
+    "SimulatedCluster",
+    "VirtualClock",
+]

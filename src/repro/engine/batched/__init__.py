@@ -1,0 +1,14 @@
+"""Batched stream processing — the Spark-Streaming-like substrate."""
+
+from .context import StreamingContext
+from .dstream import Batcher, MicroBatch, SlidingWindower, WindowPane
+from .rdd import MiniRDD
+
+__all__ = [
+    "Batcher",
+    "MicroBatch",
+    "MiniRDD",
+    "SlidingWindower",
+    "StreamingContext",
+    "WindowPane",
+]

@@ -1,0 +1,26 @@
+"""Pipelined stream processing — the Flink-like substrate."""
+
+from .dataflow import Pipeline
+from .operators import (
+    CollectSink,
+    FilterOperator,
+    MapOperator,
+    OASRSSampleOperator,
+    Operator,
+    ProcessSink,
+    SourceOperator,
+)
+from .windowing import SampleWindowOperator, SlidingWindowOperator
+
+__all__ = [
+    "CollectSink",
+    "FilterOperator",
+    "MapOperator",
+    "OASRSSampleOperator",
+    "Operator",
+    "Pipeline",
+    "ProcessSink",
+    "SampleWindowOperator",
+    "SlidingWindowOperator",
+    "SourceOperator",
+]

@@ -1,0 +1,16 @@
+"""Experiment measurement and reporting utilities."""
+
+from .accuracy import coverage_rate, mean_timeseries, timeseries_deviation
+from .ascii_chart import bar_chart, line_chart
+from .collector import ExperimentCollector, Measurement, format_table
+
+__all__ = [
+    "ExperimentCollector",
+    "Measurement",
+    "bar_chart",
+    "coverage_rate",
+    "format_table",
+    "line_chart",
+    "mean_timeseries",
+    "timeseries_deviation",
+]

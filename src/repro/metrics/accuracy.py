@@ -1,0 +1,49 @@
+"""Accuracy-analysis helpers for the time-series experiments (Figure 7).
+
+The §5.7 skew experiment plots, for each sampling technique, the estimated
+window mean against the unsampled ground truth every 5 seconds over a
+10-minute observation.  `mean_timeseries` extracts that series from a
+`SystemReport`; `timeseries_deviation` summarises how far a series strays
+from the truth (the visual "wiggliness" Figure 7 shows for SRS but not for
+STS/StreamApprox).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..system.base import SystemReport
+
+__all__ = ["mean_timeseries", "timeseries_deviation", "coverage_rate"]
+
+
+def mean_timeseries(report: SystemReport) -> List[Tuple[float, float, Optional[float]]]:
+    """(pane end, estimate, exact) triples for plotting against truth."""
+    return [(r.end, r.estimate, r.exact) for r in report.results]
+
+
+def timeseries_deviation(report: SystemReport) -> float:
+    """Root-mean-square *relative* deviation of estimates from the truth."""
+    errors = []
+    for r in report.results:
+        if r.exact:
+            errors.append(((r.estimate - r.exact) / r.exact) ** 2)
+    if not errors:
+        return 0.0
+    return math.sqrt(sum(errors) / len(errors))
+
+
+def coverage_rate(report: SystemReport) -> float:
+    """Fraction of panes whose ±error interval covers the ground truth.
+
+    Validates §3.3 end-to-end: at 95% confidence this should be ≈ 0.95 for
+    the StreamApprox systems.
+    """
+    applicable = [
+        r for r in report.results if r.error is not None and r.exact is not None
+    ]
+    if not applicable:
+        return 0.0
+    covered = sum(1 for r in applicable if r.error.covers(r.exact))
+    return covered / len(applicable)

@@ -1,0 +1,88 @@
+"""Terminal-friendly charts for experiment results.
+
+The benchmark harness prints tables; for eyeballing shapes (Figure-7-style
+time series, throughput-vs-fraction curves) a quick ASCII rendering is
+often all that is needed on a headless box.  Two renderers:
+
+* `line_chart` — one or more named series over a shared numeric x-axis,
+  down-sampled to the terminal width, one glyph per series.
+* `bar_chart` — horizontal bars for one value per label (throughput per
+  system, loss per policy, ...).
+
+Pure text in, pure text out — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["line_chart", "bar_chart"]
+
+_GLYPHS = "*+x@o#%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, int(round(fraction * (steps - 1)))))
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render named ``(x, y)`` series on one shared-axis ASCII canvas."""
+    if not series or all(not points for points in series.values()):
+        return f"{title}\n(no data)"
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4 characters")
+
+    xs = [x for points in series.values() for x, _y in points]
+    ys = [y for points in series.values() for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for glyph, (name, points) in zip(_GLYPHS, series.items()):
+        legend.append(f"{glyph} {name}")
+        for x, y in points:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            canvas[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>12.4g} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{y_lo:>12.4g} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 12 + " └" + "─" * width)
+    lines.append(" " * 14 + f"{x_lo:<12.4g}" + " " * max(0, width - 24) + f"{x_hi:>10.4g}")
+    lines.append(" " * 14 + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render one horizontal bar per label, scaled to the maximum value."""
+    if not values:
+        return f"{title}\n(no data)"
+    if width < 8:
+        raise ValueError("bar chart needs at least 8 columns")
+    peak = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = _scale(value, 0.0, peak, width) + 1 if peak > 0 else 0
+        bar = "█" * filled
+        lines.append(f"{str(label):>{label_width}} │{bar:<{width}} {value:,.4g}{unit}")
+    return "\n".join(lines)

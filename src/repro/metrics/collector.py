@@ -1,0 +1,109 @@
+"""Measurement bookkeeping for experiments (§6.1 "Measurements").
+
+`ExperimentCollector` accumulates `SystemReport`s across systems and
+parameter settings and renders them as the rows/series the paper's figures
+show — throughput (items/s), latency (seconds to process the dataset), and
+accuracy loss (|approx − exact| / exact).  `summarize` averages repeated
+runs (the paper reports averages over 10 runs).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..system.base import SystemReport
+
+__all__ = ["Measurement", "ExperimentCollector", "format_table"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (system, setting) observation."""
+
+    system: str
+    setting: object  # x-axis value: fraction, interval, rate mix, ...
+    throughput: float
+    accuracy_loss: float
+    latency: float
+
+
+@dataclass
+class ExperimentCollector:
+    """Accumulates measurements and renders figure-style tables."""
+
+    name: str
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def record(self, setting: object, report: SystemReport) -> Measurement:
+        m = Measurement(
+            system=report.system,
+            setting=setting,
+            throughput=report.throughput,
+            accuracy_loss=report.mean_accuracy_loss(),
+            latency=report.latency,
+        )
+        self.measurements.append(m)
+        return m
+
+    def systems(self) -> List[str]:
+        seen: List[str] = []
+        for m in self.measurements:
+            if m.system not in seen:
+                seen.append(m.system)
+        return seen
+
+    def settings(self) -> List[object]:
+        seen: List[object] = []
+        for m in self.measurements:
+            if m.setting not in seen:
+                seen.append(m.setting)
+        return seen
+
+    def series(self, system: str, metric: str) -> List[Tuple[object, float]]:
+        """(setting, mean metric) pairs for one system, runs averaged."""
+        by_setting: Dict[object, List[float]] = {}
+        for m in self.measurements:
+            if m.system == system:
+                by_setting.setdefault(m.setting, []).append(getattr(m, metric))
+        return [
+            (setting, statistics.fmean(values))
+            for setting, values in by_setting.items()
+        ]
+
+    def value(self, system: str, setting: object, metric: str) -> Optional[float]:
+        for s, v in self.series(system, metric):
+            if s == setting:
+                return v
+        return None
+
+    def ratio(
+        self, numerator: str, denominator: str, setting: object, metric: str
+    ) -> Optional[float]:
+        """Speedup-style ratio between two systems at one setting."""
+        num = self.value(numerator, setting, metric)
+        den = self.value(denominator, setting, metric)
+        if num is None or den is None or den == 0:
+            return None
+        return num / den
+
+    def table(self, metric: str) -> str:
+        """Render the figure as text: rows = settings, columns = systems."""
+        return format_table(self, metric)
+
+
+def format_table(collector: ExperimentCollector, metric: str) -> str:
+    systems = collector.systems()
+    settings = collector.settings()
+    header = [f"{collector.name} — {metric}"]
+    col = max(18, max((len(s) for s in systems), default=18) + 2)
+    header.append("setting".ljust(14) + "".join(s.rjust(col) for s in systems))
+    lines = header
+    for setting in settings:
+        row = [str(setting).ljust(14)]
+        for system in systems:
+            v = collector.value(system, setting, metric)
+            row.append(("-" if v is None else f"{v:,.4g}").rjust(col))
+        lines.append("".join(row))
+    return "\n".join(lines)

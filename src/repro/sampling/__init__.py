@@ -1,0 +1,22 @@
+"""Baseline sampling algorithms reimplemented from Apache Spark MLib.
+
+* `repro.sampling.srs` — Simple Random Sampling via the pruned random sort
+  (ScaSRS), Spark's ``sample`` / ``takeSample``.
+* `repro.sampling.sts` — Stratified Sampling via groupBy + per-stratum SRS,
+  Spark's ``sampleByKey`` / ``sampleByKeyExact``.
+
+Both report execution profiles (sort work, shuffle volume, barriers) that
+the simulated cluster converts into time, reproducing the cost asymmetries
+the paper's evaluation hinges on.
+"""
+
+from .srs import ScaSRSSampler, SRSResult, simple_random_sample
+from .sts import StratifiedSampler, STSResult
+
+__all__ = [
+    "ScaSRSSampler",
+    "SRSResult",
+    "STSResult",
+    "StratifiedSampler",
+    "simple_random_sample",
+]

@@ -1,0 +1,55 @@
+"""The six end-to-end systems of the paper's evaluation (Figure 3).
+
+* `SparkStreamApproxSystem` — OASRS before RDD formation (§4.2.1),
+* `FlinkStreamApproxSystem` — OASRS as a pipelined operator (§4.2.2),
+* `SparkSRSSystem` — improved baseline, Spark `sample` per batch,
+* `SparkSTSSystem` — improved baseline, Spark `sampleByKeyExact` per batch,
+* `NativeSparkSystem` / `NativeFlinkSystem` — no sampling.
+
+All share `StreamSystem.run(stream) → SystemReport` with per-pane
+estimates, error bounds, ground truth, accuracy loss, throughput and
+latency.
+"""
+
+from .base import (
+    StreamSystem,
+    SystemReport,
+    WindowResult,
+    accuracy_loss,
+    estimate_pane,
+    exact_panes,
+)
+from .config import StreamQuery, SystemConfig, WindowConfig
+from .flink_approx import FlinkStreamApproxSystem
+from .native import NativeFlinkSystem, NativeSparkSystem
+from .spark_approx import SparkStreamApproxSystem
+from .spark_srs import SparkSRSSystem
+from .spark_sts import SparkSTSSystem
+
+ALL_SYSTEMS = {
+    SparkStreamApproxSystem.name: SparkStreamApproxSystem,
+    FlinkStreamApproxSystem.name: FlinkStreamApproxSystem,
+    SparkSRSSystem.name: SparkSRSSystem,
+    SparkSTSSystem.name: SparkSTSSystem,
+    NativeSparkSystem.name: NativeSparkSystem,
+    NativeFlinkSystem.name: NativeFlinkSystem,
+}
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "FlinkStreamApproxSystem",
+    "NativeFlinkSystem",
+    "NativeSparkSystem",
+    "SparkSRSSystem",
+    "SparkSTSSystem",
+    "SparkStreamApproxSystem",
+    "StreamQuery",
+    "StreamSystem",
+    "SystemConfig",
+    "SystemReport",
+    "WindowConfig",
+    "WindowResult",
+    "accuracy_loss",
+    "estimate_pane",
+    "exact_panes",
+]

@@ -1,0 +1,78 @@
+"""Configuration types shared by every StreamApprox-style system.
+
+A run is described by three pieces:
+
+* `StreamQuery` — what to compute: the stratum key function (the
+  sub-stream source of §2.3), the numeric value per item, the aggregation
+  kind (``sum`` or ``mean``; the linear queries of §3.2), and optionally a
+  group function for per-group outputs (the case-study queries),
+* `WindowConfig` — the sliding-window computation (§2.2),
+* `SystemConfig` — deployment shape (nodes, cores, batch interval) and the
+  sampling fraction (the output of the virtual cost function; benches sweep
+  it directly, examples derive it from a budget via `repro.core.budget`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+__all__ = ["StreamQuery", "WindowConfig", "SystemConfig"]
+
+
+@dataclass(frozen=True)
+class StreamQuery:
+    """A linear streaming query over a stratified input stream."""
+
+    key_fn: Callable[[object], Hashable]
+    value_fn: Callable[[object], float]
+    kind: str = "mean"  # "mean" | "sum"
+    group_fn: Optional[Callable[[object], Hashable]] = None
+    name: str = "query"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mean", "sum"):
+            raise ValueError(f"query kind must be 'mean' or 'sum', got {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Sliding-window parameters; the paper defaults to w=10 s, δ=5 s."""
+
+    length: float = 10.0
+    slide: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.slide <= 0:
+            raise ValueError("window length and slide must be positive")
+        if self.slide > self.length:
+            raise ValueError("slide larger than window would drop items")
+
+    @property
+    def intervals_per_window(self) -> int:
+        ratio = self.length / self.slide
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError("window length must be a multiple of the slide")
+        return int(round(ratio))
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Deployment shape + sampling fraction for one run."""
+
+    sampling_fraction: float = 0.6
+    batch_interval: float = 1.0
+    nodes: int = 1
+    cores_per_node: int = 8
+    seed: int = 42
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sampling_fraction <= 1:
+            raise ValueError(
+                f"sampling_fraction must be in (0, 1], got {self.sampling_fraction}"
+            )
+        if self.batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        if self.nodes <= 0 or self.cores_per_node <= 0:
+            raise ValueError("nodes and cores_per_node must be positive")

@@ -1,0 +1,48 @@
+"""Spark-based SRS — the "improved baseline" with simple random sampling.
+
+Reproduces the approximate-computing system the paper built from Spark's
+existing ``sample`` operator (§4.1.1): every micro-batch is first fully
+materialised as an RDD (paying batch formation for *all* items, unlike
+StreamApprox), then the pruned random sort draws a uniform
+``sampling_fraction`` of it, and only the sampled items are processed.
+
+The batch's sample is represented as a single pseudo-stratum: SRS is
+oblivious to sub-streams, which is precisely its accuracy weakness on
+skewed inputs (Figures 4b, 6c, 7a) — rare strata are missed with high
+probability, and nothing re-weights for them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.strata import StratumSample, WeightedSample, stratum_weight
+from ..engine.batched.context import StreamingContext
+from .spark_base import BatchedSystem
+
+__all__ = ["SparkSRSSystem"]
+
+_SRS_KEY = "__srs__"
+
+
+class SparkSRSSystem(BatchedSystem):
+    """Micro-batch pipeline with Spark's `sample` (ScaSRS) per batch."""
+
+    name = "spark-srs"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._rng = random.Random(self.config.seed)
+
+    def _handle_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
+        rdd = ctx.rdd_of(items)
+        sampled_rdd = rdd.sample(self.config.sampling_fraction, rng=self._rng)
+        kept = sampled_rdd.collect()
+        ctx.cluster.process_items(len(kept))
+
+        sample = WeightedSample()
+        if items:
+            weight = stratum_weight(len(items), len(kept))
+            sample.add(StratumSample(_SRS_KEY, tuple(kept), len(items), weight))
+        return sample

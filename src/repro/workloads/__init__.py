@@ -1,0 +1,63 @@
+"""Input-stream workload generators for the evaluation.
+
+* `repro.workloads.synthetic` — the §5.1 Gaussian/Poisson microbenchmark
+  streams (including the §5.7 skew mixes),
+* `repro.workloads.netflow` — CAIDA-like NetFlow flows (case study 1),
+* `repro.workloads.taxi` — NYC-taxi-like rides (case study 2).
+"""
+
+from .netflow import (
+    FLOW_SIZE_PARAMS,
+    PROTOCOL_MIX,
+    FlowRecord,
+    flow_bytes,
+    flow_protocol,
+    generate_flows,
+    netflow_stream,
+)
+from .synthetic import (
+    SubStreamSpec,
+    gaussian_skew_substreams,
+    gaussian_substreams,
+    make_stream,
+    poisson_skew_substreams,
+    poisson_substreams,
+    stream_by_rates,
+    stream_by_shares,
+)
+from .taxi import (
+    BOROUGH_MIX,
+    BOROUGHS,
+    TRIP_DISTANCE_PARAMS,
+    TaxiRide,
+    generate_rides,
+    ride_borough,
+    ride_distance,
+    taxi_stream,
+)
+
+__all__ = [
+    "BOROUGHS",
+    "BOROUGH_MIX",
+    "FLOW_SIZE_PARAMS",
+    "FlowRecord",
+    "PROTOCOL_MIX",
+    "SubStreamSpec",
+    "TRIP_DISTANCE_PARAMS",
+    "TaxiRide",
+    "flow_bytes",
+    "flow_protocol",
+    "gaussian_skew_substreams",
+    "gaussian_substreams",
+    "generate_flows",
+    "generate_rides",
+    "make_stream",
+    "netflow_stream",
+    "poisson_skew_substreams",
+    "poisson_substreams",
+    "ride_borough",
+    "ride_distance",
+    "stream_by_rates",
+    "stream_by_shares",
+    "taxi_stream",
+]

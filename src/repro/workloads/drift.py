@@ -1,0 +1,138 @@
+"""Non-stationary workloads: sub-stream arrival rates that shift over time.
+
+The paper's central criticism of Spark's stratified sampling (§1) is that
+it "does not handle the case where the arrival rate of sub-streams changes
+over time because it requires a pre-defined sampling fraction for each
+stratum", while OASRS "naturally adapts to varying arrival rates".  The
+stationary workloads in `repro.workloads.synthetic` cannot exercise that
+difference, so this module generates streams whose per-sub-stream rates
+follow a schedule:
+
+* `RateSchedule` — piecewise-constant rates per sub-stream over named
+  phases (e.g. A dominates for 20 s, then B takes over),
+* `drifting_stream` — renders a schedule into the usual time-ordered
+  ``(timestamp, (source, value))`` stream, drawing values from the §5.1
+  Gaussian sub-stream specs,
+* `flash_crowd_schedule` / `rate_swap_schedule` — the two canonical drift
+  shapes: a sudden burst on one sub-stream, and a complete reversal of
+  which sub-stream dominates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from ..aggregator.replay import interleave_substreams
+from .synthetic import SubStreamSpec, gaussian_substreams
+
+__all__ = [
+    "RatePhase",
+    "RateSchedule",
+    "drifting_stream",
+    "rate_swap_schedule",
+    "flash_crowd_schedule",
+]
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """One phase: per-sub-stream rates (items/s) held for ``duration`` s."""
+
+    duration: float
+    rates: Dict[Hashable, float]
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"phase duration must be positive, got {self.duration}")
+        for source, rate in self.rates.items():
+            if rate < 0:
+                raise ValueError(f"rate for {source!r} must be non-negative")
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """A sequence of phases; total duration is the sum of phase durations."""
+
+    phases: Tuple[RatePhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("schedule needs at least one phase")
+
+    @property
+    def duration(self) -> float:
+        return sum(p.duration for p in self.phases)
+
+    def rate_at(self, source: Hashable, t: float) -> float:
+        """The source's arrival rate at absolute time ``t``."""
+        elapsed = 0.0
+        for phase in self.phases:
+            if t < elapsed + phase.duration:
+                return phase.rates.get(source, 0.0)
+            elapsed += phase.duration
+        return self.phases[-1].rates.get(source, 0.0)
+
+
+def rate_swap_schedule(
+    high: float = 8000.0, low: float = 100.0, phase_seconds: float = 20.0
+) -> RateSchedule:
+    """A dominates, then C dominates — the paper's adaptivity scenario."""
+    return RateSchedule(
+        (
+            RatePhase(phase_seconds, {"A": high, "B": 2000.0, "C": low}),
+            RatePhase(phase_seconds, {"A": low, "B": 2000.0, "C": high}),
+        )
+    )
+
+
+def flash_crowd_schedule(
+    base: float = 2000.0, spike: float = 20000.0, phase_seconds: float = 10.0
+) -> RateSchedule:
+    """Steady traffic, a 10× flash crowd on B, then back to normal."""
+    return RateSchedule(
+        (
+            RatePhase(phase_seconds, {"A": base, "B": base, "C": base / 20}),
+            RatePhase(phase_seconds, {"A": base, "B": spike, "C": base / 20}),
+            RatePhase(phase_seconds, {"A": base, "B": base, "C": base / 20}),
+        )
+    )
+
+
+def drifting_stream(
+    schedule: RateSchedule,
+    specs: List[SubStreamSpec] = None,
+    seed: int = 0,
+) -> List[Tuple[float, Tuple[Hashable, float]]]:
+    """Render a rate schedule into a time-ordered item stream.
+
+    Each phase is generated with the per-phase rates and shifted to its
+    phase start; sub-streams keep one value generator across phases so a
+    source's value distribution is continuous even as its rate jumps.
+    """
+    if specs is None:
+        specs = gaussian_substreams()
+    base = random.Random(seed)
+    generators = {
+        spec.source: spec.values(random.Random(base.getrandbits(64)))
+        for spec in specs
+    }
+
+    stream: List[Tuple[float, Tuple[Hashable, float]]] = []
+    phase_start = 0.0
+    for phase in schedule.phases:
+        substreams = {}
+        for spec in specs:
+            rate = phase.rates.get(spec.source, 0.0)
+            count = int(rate * phase.duration)
+            if count == 0 or rate <= 0:
+                continue
+            gen = generators[spec.source]
+            items = [(spec.source, next(gen)) for _ in range(count)]
+            substreams[spec.source] = (rate, items)
+        for ts, item in interleave_substreams(substreams):
+            stream.append((phase_start + ts, item))
+        phase_start += phase.duration
+    stream.sort(key=lambda pair: pair[0])
+    return stream

@@ -1,0 +1,165 @@
+"""Synthetic input streams (§5.1).
+
+The microbenchmarks use streams of numeric items from three sub-streams
+A, B, C whose values follow either Gaussian or Poisson distributions:
+
+* Gaussian (default):  A ~ N(10, 5),  B ~ N(1000, 50),  C ~ N(10000, 500)
+* Gaussian (skew, §5.7): A ~ N(100, 10), B ~ N(1000, 100), C ~ N(10000, 1000)
+  with population shares 80% / 19% / 1%
+* Poisson:  A ~ Poi(10),  B ~ Poi(1000),  C ~ Poi(10⁸)
+  with shares 80% / 19.99% / 0.01% in the skew experiment (§5.7-II)
+
+Items are ``(source, value)`` tuples; `make_stream` assigns arrival
+timestamps from per-sub-stream rates (items/second) via the replay tool's
+deterministic interleaver, yielding the time-ordered ``(timestamp, item)``
+stream every system consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+from ..aggregator.replay import interleave_substreams
+
+__all__ = [
+    "SubStreamSpec",
+    "gaussian_substreams",
+    "gaussian_skew_substreams",
+    "poisson_substreams",
+    "poisson_skew_substreams",
+    "make_stream",
+    "stream_by_rates",
+    "stream_by_shares",
+]
+
+Item = Tuple[Hashable, float]
+
+
+@dataclass(frozen=True)
+class SubStreamSpec:
+    """One sub-stream: its source id and value distribution."""
+
+    source: Hashable
+    distribution: str  # "gaussian" | "poisson"
+    mu: float = 0.0
+    sigma: float = 1.0
+    lam: float = 1.0
+
+    def values(self, rng: random.Random) -> Iterator[float]:
+        if self.distribution == "gaussian":
+            while True:
+                yield rng.gauss(self.mu, self.sigma)
+        elif self.distribution == "poisson":
+            while True:
+                yield float(_poisson(rng, self.lam))
+        else:
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Poisson sampling: Knuth for small λ, normal approximation for large.
+
+    The paper's sub-stream C uses λ = 10⁸, far beyond Knuth's method; the
+    normal approximation N(λ, √λ) is accurate there to ~10⁻⁴ relative.
+    """
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive, got {lam}")
+    if lam > 500:
+        return max(0, int(round(rng.gauss(lam, lam ** 0.5))))
+    threshold = 2.718281828459045 ** (-lam)
+    k, p = 0, 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+def gaussian_substreams() -> List[SubStreamSpec]:
+    """§5.1 defaults: A ~ N(10,5), B ~ N(1000,50), C ~ N(10000,500)."""
+    return [
+        SubStreamSpec("A", "gaussian", mu=10, sigma=5),
+        SubStreamSpec("B", "gaussian", mu=1000, sigma=50),
+        SubStreamSpec("C", "gaussian", mu=10000, sigma=500),
+    ]
+
+
+def gaussian_skew_substreams() -> List[SubStreamSpec]:
+    """§5.7-I: A ~ N(100,10), B ~ N(1000,100), C ~ N(10000,1000)."""
+    return [
+        SubStreamSpec("A", "gaussian", mu=100, sigma=10),
+        SubStreamSpec("B", "gaussian", mu=1000, sigma=100),
+        SubStreamSpec("C", "gaussian", mu=10000, sigma=1000),
+    ]
+
+
+def poisson_substreams() -> List[SubStreamSpec]:
+    """§5.1 Poisson: A ~ Poi(10), B ~ Poi(1000), C ~ Poi(10⁸)."""
+    return [
+        SubStreamSpec("A", "poisson", lam=10),
+        SubStreamSpec("B", "poisson", lam=1000),
+        SubStreamSpec("C", "poisson", lam=100_000_000),
+    ]
+
+
+def poisson_skew_substreams() -> List[SubStreamSpec]:
+    """§5.7-II uses the same Poisson parameters with skewed shares."""
+    return poisson_substreams()
+
+
+def make_stream(
+    specs: List[SubStreamSpec],
+    rates: Dict[Hashable, float],
+    duration: float,
+    seed: int = 0,
+) -> List[Tuple[float, Item]]:
+    """Interleave sub-streams at given rates (items/s) for ``duration`` s.
+
+    Returns the time-ordered list of ``(timestamp, (source, value))`` the
+    systems consume.  Each sub-stream gets an independent child RNG, so
+    changing one rate never perturbs another sub-stream's values.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    base = random.Random(seed)
+    substreams = {}
+    for spec in specs:
+        if spec.source not in rates:
+            continue
+        rate = rates[spec.source]
+        count = int(rate * duration)
+        rng = random.Random(base.getrandbits(64))
+        values = spec.values(rng)
+        items = [(spec.source, next(values)) for _ in range(count)]
+        if items:
+            substreams[spec.source] = (rate, items)
+    return list(interleave_substreams(substreams))
+
+
+def stream_by_rates(
+    rates: Dict[Hashable, float],
+    duration: float,
+    specs: List[SubStreamSpec] = None,
+    seed: int = 0,
+) -> List[Tuple[float, Item]]:
+    """§5.4 experiment: Gaussian sub-streams at explicit A:B:C rates."""
+    if specs is None:
+        specs = gaussian_substreams()
+    return make_stream(specs, rates, duration, seed=seed)
+
+
+def stream_by_shares(
+    specs: List[SubStreamSpec],
+    shares: Dict[Hashable, float],
+    total_rate: float,
+    duration: float,
+    seed: int = 0,
+) -> List[Tuple[float, Item]]:
+    """§5.7 experiments: population shares (e.g. 80/19/1%) of a total rate."""
+    total_share = sum(shares.values())
+    if abs(total_share - 1.0) > 1e-6:
+        raise ValueError(f"shares must sum to 1, got {total_share}")
+    rates = {source: max(total_rate * share, 1e-9) for source, share in shares.items()}
+    return make_stream(specs, rates, duration, seed=seed)

@@ -1,0 +1,127 @@
+"""Synthetic NYC taxi workload — case study 2 (§6.3).
+
+The paper replays the DEBS 2015 Grand Challenge dataset (itineraries of
+10,000 NYC taxis in 2013), maps each trip's start coordinates to one of the
+six boroughs, and measures the **average trip distance per start borough
+per sliding window**.
+
+The synthetic generator preserves the properties that drive the
+evaluation:
+
+* six borough strata with realistic popularity skew — Manhattan dominates
+  pickups, Staten Island is rare (the stratum SRS under-represents),
+* per-borough trip-distance distributions with distinct means (log-normal
+  bodies; Manhattan trips short, Staten Island trips long), so missing a
+  borough visibly biases its group mean,
+* ride records with the fields the query touches (pickup borough, trip
+  distance in miles).
+
+The stream item is ``(borough, TaxiRide)``; the stratum and the group are
+the start borough, and the queried value is ``ride.distance_miles``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from .synthetic import Item
+
+__all__ = [
+    "TaxiRide",
+    "BOROUGH_MIX",
+    "TRIP_DISTANCE_PARAMS",
+    "generate_rides",
+    "taxi_stream",
+    "ride_distance",
+    "ride_borough",
+    "BOROUGHS",
+]
+
+BOROUGHS = [
+    "Manhattan",
+    "Brooklyn",
+    "Queens",
+    "Bronx",
+    "Staten Island",
+    "Newark",  # DEBS grid spills into Newark; the paper maps six regions
+]
+
+# Pickup popularity — Manhattan-dominated, as in the 2013 TLC/DEBS data.
+BOROUGH_MIX: Dict[str, float] = {
+    "Manhattan": 0.80,
+    "Brooklyn": 0.10,
+    "Queens": 0.06,
+    "Bronx": 0.025,
+    "Staten Island": 0.005,
+    "Newark": 0.01,
+}
+
+# Log-normal trip-distance parameters (underlying normal of ln-miles):
+# Manhattan hops are short; outer-borough and airport trips are long.
+TRIP_DISTANCE_PARAMS: Dict[str, Tuple[float, float]] = {
+    "Manhattan": (0.6, 0.6),
+    "Brooklyn": (1.1, 0.6),
+    "Queens": (1.6, 0.5),
+    "Bronx": (1.3, 0.5),
+    "Staten Island": (2.1, 0.4),
+    "Newark": (2.4, 0.3),
+}
+
+
+@dataclass(frozen=True)
+class TaxiRide:
+    """One trip record with the fields the §6.3 query touches."""
+
+    pickup_borough: str
+    distance_miles: float
+    fare_usd: float
+
+
+def ride_distance(item: Item) -> float:
+    """Query value function: the trip's distance."""
+    return item[1].distance_miles
+
+
+def ride_borough(item: Item) -> Hashable:
+    """Stratum/group key function: the pickup borough."""
+    return item[0]
+
+
+def generate_rides(borough: str, count: int, rng: random.Random) -> List[TaxiRide]:
+    """Synthesise ``count`` rides starting in ``borough``."""
+    try:
+        mu, sigma = TRIP_DISTANCE_PARAMS[borough]
+    except KeyError:
+        raise ValueError(f"unknown borough {borough!r}") from None
+    rides = []
+    for _ in range(count):
+        distance = min(60.0, rng.lognormvariate(mu, sigma))
+        fare = 2.5 + 2.0 * distance + rng.uniform(0, 3)
+        rides.append(TaxiRide(borough, distance, round(fare, 2)))
+    return rides
+
+
+def taxi_stream(
+    total_rate: float,
+    duration: float,
+    mix: Dict[str, float] = None,
+    seed: int = 0,
+) -> List[Tuple[float, Item]]:
+    """The replayed case-study stream: (timestamp, (borough, TaxiRide))."""
+    from ..aggregator.replay import interleave_substreams
+
+    if mix is None:
+        mix = BOROUGH_MIX
+    base = random.Random(seed)
+    substreams = {}
+    for borough, share in mix.items():
+        rate = total_rate * share
+        count = int(rate * duration)
+        if count == 0:
+            continue
+        rng = random.Random(base.getrandbits(64))
+        rides = generate_rides(borough, count, rng)
+        substreams[borough] = (rate, [(borough, r) for r in rides])
+    return list(interleave_substreams(substreams))

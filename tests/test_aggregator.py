@@ -1,0 +1,152 @@
+"""Tests for the Kafka-like stream aggregator substrate."""
+
+import pytest
+
+from repro.aggregator.broker import Broker
+from repro.aggregator.consumer import Consumer
+from repro.aggregator.producer import Producer, SubStreamProducer
+from repro.aggregator.replay import ReplayTool, interleave_substreams
+
+
+class TestBroker:
+    def test_create_and_lookup(self):
+        broker = Broker()
+        topic = broker.create_topic("events", num_partitions=3)
+        assert broker.topic("events") is topic
+        assert broker.has_topic("events")
+        assert broker.topics() == ["events"]
+
+    def test_duplicate_topic_rejected(self):
+        broker = Broker()
+        broker.create_topic("t")
+        with pytest.raises(KeyError):
+            broker.create_topic("t")
+
+    def test_unknown_topic(self):
+        with pytest.raises(KeyError):
+            Broker().topic("nope")
+
+    def test_partition_count_validation(self):
+        with pytest.raises(ValueError):
+            Broker().create_topic("t", num_partitions=0)
+
+    def test_keyed_routing_stable(self):
+        broker = Broker()
+        topic = broker.create_topic("t", num_partitions=4)
+        p1 = topic.partition_for("sensor-1")
+        p2 = topic.partition_for("sensor-1")
+        assert p1 is p2
+
+    def test_unkeyed_round_robin(self):
+        broker = Broker()
+        topic = broker.create_topic("t", num_partitions=2)
+        a = topic.partition_for(None)
+        b = topic.partition_for(None)
+        assert a is not b
+
+    def test_offsets_monotonic(self):
+        broker = Broker()
+        topic = broker.create_topic("t", num_partitions=1)
+        assert topic.append(0.1, "k", "a") == 0
+        assert topic.append(0.2, "k", "b") == 1
+        assert topic.total_records == 2
+
+
+class TestProducerConsumer:
+    def test_producer_counts(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = Producer(broker, "t")
+        producer.send_all([(0.1, "a"), (0.2, "b")])
+        assert producer.sent == 2
+
+    def test_substream_producer_tags_key(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = SubStreamProducer(broker, "t", source_id="S1")
+        producer.send(0.1, "x")
+        record = broker.topic("t").partitions[0].fetch(0)[0]
+        assert record.key == "S1"
+
+    def test_substream_producer_rejects_foreign_key(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = SubStreamProducer(broker, "t", source_id="S1")
+        with pytest.raises(ValueError):
+            producer.send(0.1, "x", key="S2")
+
+    def test_consumer_merges_by_timestamp(self):
+        # Integer keys hash to themselves, so each lands in its own
+        # partition; the consumer must re-merge them into timestamp order.
+        broker = Broker()
+        broker.create_topic("t", num_partitions=3)
+        producer = Producer(broker, "t")
+        producer.send(0.3, "c", key=2)
+        producer.send(0.1, "a", key=0)
+        producer.send(0.2, "b", key=1)
+        consumer = Consumer(broker, "t")
+        values = [v for _ts, v in consumer.stream()]
+        assert values == ["a", "b", "c"]
+
+    def test_poll_resumes_from_offset(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=1)
+        producer = Producer(broker, "t")
+        producer.send(0.1, "a")
+        consumer = Consumer(broker, "t")
+        assert [r.value for r in consumer.poll()] == ["a"]
+        producer.send(0.2, "b")
+        assert [r.value for r in consumer.poll()] == ["b"]
+
+    def test_lag_and_seek(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=1)
+        Producer(broker, "t").send_all([(0.1, "a"), (0.2, "b")])
+        consumer = Consumer(broker, "t")
+        assert consumer.lag == 2
+        consumer.poll()
+        assert consumer.lag == 0
+        consumer.seek_to_beginning()
+        assert consumer.lag == 2
+
+    def test_poll_max_records(self):
+        broker = Broker()
+        broker.create_topic("t", num_partitions=1)
+        Producer(broker, "t").send_all([(0.1, "a"), (0.2, "b"), (0.3, "c")])
+        consumer = Consumer(broker, "t")
+        assert len(consumer.poll(max_records=2)) == 2
+        assert len(consumer.poll()) == 1
+
+
+class TestReplay:
+    def test_interleave_rates(self):
+        """A 10 items/s sub-stream emits twice as often as a 5 items/s one."""
+        merged = list(
+            interleave_substreams(
+                {"fast": (10.0, ["f"] * 10), "slow": (5.0, ["s"] * 5)}
+            )
+        )
+        assert len(merged) == 15
+        timestamps = [ts for ts, _v in merged]
+        assert timestamps == sorted(timestamps)
+        # Both finish at t = 1.0.
+        assert timestamps[-1] == pytest.approx(1.0)
+
+    def test_interleave_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            list(interleave_substreams({"s": (0.0, [1])}))
+
+    def test_interleave_empty_substream_skipped(self):
+        merged = list(interleave_substreams({"empty": (1.0, []), "one": (1.0, ["x"])}))
+        assert [v for _ts, v in merged] == ["x"]
+
+    def test_replay_through_broker(self):
+        broker = Broker()
+        tool = ReplayTool(broker, "events", num_partitions=2)
+        sent = tool.replay({"A": (100.0, range(10)), "B": (50.0, range(5))})
+        assert sent == 15
+        consumer = Consumer(broker, "events")
+        records = consumer.poll()
+        assert len(records) == 15
+        # Stratification preserved: every record keyed by its source.
+        assert {r.key for r in records} == {"A", "B"}

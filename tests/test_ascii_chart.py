@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.metrics.ascii_chart import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert "(no data)" in line_chart({})
+        assert "(no data)" in line_chart({"s": []})
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 1)]}, width=4)
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 1)]}, height=2)
+
+    def test_renders_title_and_legend(self):
+        chart = line_chart(
+            {"alpha": [(0, 0), (1, 1)], "beta": [(0, 1), (1, 0)]},
+            title="demo",
+        )
+        assert chart.startswith("demo")
+        assert "* alpha" in chart
+        assert "+ beta" in chart
+
+    def test_axis_labels_show_extremes(self):
+        chart = line_chart({"s": [(0.0, 10.0), (5.0, 200.0)]})
+        assert "200" in chart
+        assert "10" in chart
+
+    def test_high_point_in_top_row_low_in_bottom(self):
+        chart = line_chart({"s": [(0.0, 0.0), (1.0, 100.0)]}, width=20, height=6)
+        rows = [l for l in chart.splitlines() if "┤" in l or "│" in l]
+        assert "*" in rows[0]  # max value row
+        assert "*" in rows[-1]  # min value row
+
+    def test_constant_series(self):
+        chart = line_chart({"s": [(0.0, 5.0), (1.0, 5.0)]})
+        assert "*" in chart
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=4)
+
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart({"big": 100.0, "small": 10.0}, width=40)
+        lines = {l.split("│")[0].strip(): l for l in chart.splitlines() if "│" in l}
+        assert lines["big"].count("█") > lines["small"].count("█")
+
+    def test_values_printed(self):
+        chart = bar_chart({"x": 1234.0}, unit=" items/s")
+        assert "1,234" in chart
+        assert "items/s" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="speeds").startswith("speeds")

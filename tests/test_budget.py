@@ -1,0 +1,134 @@
+"""Tests for query budgets, the virtual cost function, and adaptive feedback."""
+
+import pytest
+
+from repro.core.budget import (
+    AccuracyBudget,
+    AdaptiveSampleSizeController,
+    CostModel,
+    LatencyBudget,
+    ResourceBudget,
+    VirtualCostFunction,
+)
+from repro.core.query import StratumStats
+
+
+def stats(key, c, variance, y=10):
+    return StratumStats(
+        key=key, y=y, c=c, weight=c / y if c > y else 1.0,
+        total=0.0, mean=0.0, variance=variance,
+    )
+
+
+class TestBudgetValidation:
+    def test_accuracy_budget(self):
+        with pytest.raises(ValueError):
+            AccuracyBudget(target_margin=0.0)
+
+    def test_latency_budget(self):
+        with pytest.raises(ValueError):
+            LatencyBudget(max_seconds=-1)
+
+    def test_resource_budget(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(workers=0)
+        assert ResourceBudget(workers=3, cores_per_worker=4).total_cores == 12
+
+
+class TestCostModel:
+    def test_items_within_capacity(self):
+        cm = CostModel(tokens_per_item=2.0, tokens_per_core_second=100.0)
+        assert cm.items_within(seconds=1.0, cores=4) == 200
+
+    def test_zero_time(self):
+        assert CostModel().items_within(0.0, 8) == 0
+
+
+class TestVirtualCostFunction:
+    def test_default_fraction_before_observations(self):
+        vcf = VirtualCostFunction(default_fraction=0.5)
+        size = vcf.sample_size(AccuracyBudget(target_margin=1.0), 1000)
+        assert size == 500  # one assumed stratum, 50% of expected items
+
+    def test_accuracy_budget_inverts_equation9(self):
+        vcf = VirtualCostFunction()
+        vcf.observe([stats("a", c=10_000, variance=100.0)])
+        tight = vcf.sample_size(AccuracyBudget(target_margin=0.05), 10_000)
+        loose = vcf.sample_size(AccuracyBudget(target_margin=5.0), 10_000)
+        assert tight > loose
+        assert 1 <= loose <= 10_000
+
+    def test_accuracy_budget_zero_variance(self):
+        vcf = VirtualCostFunction()
+        vcf.observe([stats("a", c=1000, variance=0.0)])
+        assert vcf.sample_size(AccuracyBudget(target_margin=0.1), 1000) == 1
+
+    def test_latency_budget_respects_capacity(self):
+        cm = CostModel(tokens_per_item=1.0, tokens_per_core_second=1000.0)
+        vcf = VirtualCostFunction(cost_model=cm, cores=2)
+        vcf.observe([stats("a", c=10_000, variance=1.0)])
+        size = vcf.sample_size(LatencyBudget(max_seconds=1.0), 100_000)
+        assert size == 2000  # 2 cores * 1000 tokens/s / 1 stratum
+
+    def test_resource_budget(self):
+        cm = CostModel(tokens_per_item=1.0, tokens_per_core_second=500.0)
+        vcf = VirtualCostFunction(cost_model=cm)
+        vcf.observe([stats("a", c=1000, variance=1.0), stats("b", c=1000, variance=1.0)])
+        size = vcf.sample_size(ResourceBudget(workers=2, cores_per_worker=2), 10_000)
+        assert size == 1000  # 4 cores * 500 / 2 strata
+
+    def test_sampling_fraction_clamped(self):
+        vcf = VirtualCostFunction()
+        frac = vcf.sampling_fraction(AccuracyBudget(target_margin=1e-9), 10)
+        assert 0 < frac <= 1.0
+
+    def test_unknown_budget_type(self):
+        with pytest.raises(TypeError):
+            VirtualCostFunction().sample_size(object(), 100)
+
+    def test_invalid_default_fraction(self):
+        with pytest.raises(ValueError):
+            VirtualCostFunction(default_fraction=0.0)
+
+
+class TestAdaptiveController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSampleSizeController(initial_size=0, target_relative_margin=0.01)
+        with pytest.raises(ValueError):
+            AdaptiveSampleSizeController(initial_size=10, target_relative_margin=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveSampleSizeController(10, 0.1, growth=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveSampleSizeController(10, 0.1, decay=0.0)
+
+    def test_grows_when_error_too_large(self):
+        c = AdaptiveSampleSizeController(initial_size=100, target_relative_margin=0.01)
+        assert c.update(0.05) == 150
+
+    def test_decays_with_large_slack(self):
+        c = AdaptiveSampleSizeController(initial_size=100, target_relative_margin=0.01)
+        assert c.update(0.001) == 90
+
+    def test_holds_within_band(self):
+        c = AdaptiveSampleSizeController(initial_size=100, target_relative_margin=0.01)
+        assert c.update(0.008) == 100
+
+    def test_clamps_to_bounds(self):
+        c = AdaptiveSampleSizeController(
+            initial_size=100, target_relative_margin=0.01, min_size=50, max_size=120
+        )
+        assert c.update(1.0) == 120
+        for _ in range(20):
+            c.update(0.0)
+        assert c.current_size == 50
+
+    def test_converges_to_target(self):
+        """Feedback loop drives error to the target band and stays there."""
+        c = AdaptiveSampleSizeController(initial_size=10, target_relative_margin=0.02)
+        # Simple noise model: relative margin ~ 1/sqrt(size).
+        for _ in range(50):
+            measured = 1.0 / (c.current_size ** 0.5)
+            c.update(measured)
+        final_error = 1.0 / (c.current_size ** 0.5)
+        assert final_error <= 0.02 * 1.5

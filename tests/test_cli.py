@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import build_parser, main, make_workload
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--workload", "zipf"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.fraction == 0.6
+        assert args.workload == "gaussian"
+        assert len(args.systems) == 6
+
+
+class TestMakeWorkload:
+    @pytest.mark.parametrize("name", ["gaussian", "netflow", "taxi"])
+    def test_workloads_build(self, name):
+        stream, query = make_workload(name, rate=1000, duration=2, seed=0)
+        assert stream
+        ts, item = stream[0]
+        assert query.key_fn(item) is not None
+        assert isinstance(query.value_fn(item), float)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_workload("zipf", 100, 1, 0)
+
+
+class TestCommands:
+    def test_systems_lists_all_six(self):
+        code, out = run_cli(["systems"])
+        assert code == 0
+        for name in (
+            "spark-streamapprox",
+            "flink-streamapprox",
+            "spark-srs",
+            "spark-sts",
+            "native-spark",
+            "native-flink",
+        ):
+            assert name in out
+
+    def test_compare_prints_table_and_chart(self):
+        code, out = run_cli(
+            ["compare", "--rate", "2000", "--duration", "4",
+             "--systems", "spark-streamapprox", "spark-srs"]
+        )
+        assert code == 0
+        assert "spark-streamapprox" in out
+        assert "throughput" in out
+        assert "█" in out  # bar chart rendered
+
+    def test_compare_native_ignores_fraction(self):
+        code, out = run_cli(
+            ["compare", "--rate", "1000", "--duration", "4",
+             "--fraction", "0.1", "--systems", "native-spark"]
+        )
+        assert code == 0
+        assert "0.000%" in out  # native stays exact
+
+    def test_sweep_prints_series(self):
+        code, out = run_cli(
+            ["sweep", "--rate", "2000", "--duration", "4",
+             "--fractions", "0.2", "0.6",
+             "--systems", "spark-streamapprox",
+             "--metric", "throughput"]
+        )
+        assert code == 0
+        assert "0.2" in out and "0.6" in out
+        assert "sampling fraction" in out

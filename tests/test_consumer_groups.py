@@ -1,0 +1,122 @@
+"""Tests for aggregator consumer groups (partition assignment + offsets)."""
+
+import pytest
+
+from repro.aggregator.broker import Broker
+from repro.aggregator.groups import ConsumerGroup
+from repro.aggregator.producer import Producer
+
+
+def setup_topic(partitions=4, records=0):
+    broker = Broker()
+    broker.create_topic("t", num_partitions=partitions)
+    producer = Producer(broker, "t")
+    for i in range(records):
+        producer.send(timestamp=float(i), value=f"v{i}", key=i)
+    return broker, producer
+
+
+class TestAssignment:
+    def test_single_member_gets_everything(self):
+        broker, _ = setup_topic(partitions=4)
+        group = ConsumerGroup(broker, "t", "g1")
+        member = group.join()
+        assert sorted(member.assignment) == [0, 1, 2, 3]
+
+    def test_partitions_split_disjointly(self):
+        broker, _ = setup_topic(partitions=4)
+        group = ConsumerGroup(broker, "t", "g1")
+        a, b = group.join(), group.join()
+        assert sorted(a.assignment + b.assignment) == [0, 1, 2, 3]
+        assert set(a.assignment).isdisjoint(b.assignment)
+
+    def test_uneven_split_range_assignment(self):
+        broker, _ = setup_topic(partitions=5)
+        group = ConsumerGroup(broker, "t", "g1")
+        members = [group.join() for _ in range(2)]
+        sizes = sorted(len(m.assignment) for m in members)
+        assert sizes == [2, 3]
+
+    def test_more_members_than_partitions(self):
+        broker, _ = setup_topic(partitions=2)
+        group = ConsumerGroup(broker, "t", "g1")
+        members = [group.join() for _ in range(4)]
+        sizes = [len(m.assignment) for m in members]
+        assert sum(sizes) == 2
+        assert max(sizes) <= 1
+
+    def test_generation_bumps_on_membership_change(self):
+        broker, _ = setup_topic()
+        group = ConsumerGroup(broker, "t", "g1")
+        g0 = group.generation
+        member = group.join()
+        assert group.generation == g0 + 1
+        group.leave(member)
+        assert group.generation == g0 + 2
+
+    def test_leave_unknown_member(self):
+        broker, _ = setup_topic()
+        g1 = ConsumerGroup(broker, "t", "g1")
+        g2 = ConsumerGroup(broker, "t", "g2")
+        member = g1.join()
+        with pytest.raises(ValueError):
+            g2.leave(member)
+
+
+class TestDelivery:
+    def test_exactly_once_within_group(self):
+        broker, _ = setup_topic(partitions=4, records=100)
+        group = ConsumerGroup(broker, "t", "g1")
+        a, b = group.join(), group.join()
+        seen = [r.value for r in a.poll()] + [r.value for r in b.poll()]
+        assert sorted(seen) == sorted(f"v{i}" for i in range(100))
+        assert len(set(seen)) == 100
+
+    def test_independent_groups_both_see_all(self):
+        broker, _ = setup_topic(partitions=2, records=20)
+        g1 = ConsumerGroup(broker, "t", "g1").join()
+        g2 = ConsumerGroup(broker, "t", "g2").join()
+        assert len(g1.poll()) == 20
+        assert len(g2.poll()) == 20
+
+    def test_offsets_survive_rebalance(self):
+        """Records consumed before a member joins are not re-delivered."""
+        broker, producer = setup_topic(partitions=2, records=10)
+        group = ConsumerGroup(broker, "t", "g1")
+        first = group.join()
+        assert len(first.poll()) == 10
+        second = group.join()  # rebalance
+        producer.send(timestamp=100.0, value="late", key=0)
+        delivered = [r.value for r in first.poll()] + [r.value for r in second.poll()]
+        assert delivered == ["late"]
+
+    def test_lag_accounting(self):
+        broker, producer = setup_topic(partitions=2, records=6)
+        group = ConsumerGroup(broker, "t", "g1")
+        member = group.join()
+        assert group.lag() == 6
+        member.poll()
+        assert group.lag() == 0
+        producer.send(7.0, "x", key=1)
+        assert group.lag() == 1
+
+    def test_member_poll_respects_max_records(self):
+        broker, _ = setup_topic(partitions=1, records=10)
+        member = ConsumerGroup(broker, "t", "g1").join()
+        assert len(member.poll(max_records=4)) == 4
+        assert len(member.poll()) == 6
+
+    def test_poll_sorted_by_timestamp(self):
+        broker, _ = setup_topic(partitions=3, records=30)
+        member = ConsumerGroup(broker, "t", "g1").join()
+        records = member.poll()
+        timestamps = [r.timestamp for r in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_close_leaves_group(self):
+        broker, _ = setup_topic(partitions=4, records=0)
+        group = ConsumerGroup(broker, "t", "g1")
+        a, b = group.join(), group.join()
+        a.close()
+        assert len(group.members) == 1
+        assert sorted(b.assignment) == [0, 1, 2, 3]

@@ -1,0 +1,133 @@
+"""Robustness of the reproduction's shapes to cost-model perturbations.
+
+The headline orderings (StreamApprox > SRS > STS; Flink > Spark; sampled >
+native) must not hinge on one calibration constant.  These tests rebuild
+small end-to-end runs under perturbed `CostProfile`s and check that the
+*directions* survive — and that each constant moves the system it is
+supposed to move (barriers hurt STS, batch formation hurts batch-everything
+systems, processing cost hurts natives most).
+"""
+
+import pytest
+
+from repro.engine.batched.context import StreamingContext
+from repro.engine.batched.rdd import MiniRDD
+from repro.engine.cluster import SimulatedCluster
+from repro.engine.costs import DEFAULT_COSTS
+from repro.system import (
+    NativeSparkSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+)
+from repro.workloads.synthetic import stream_by_rates
+
+KEY = lambda it: it[0]  # noqa: E731
+VAL = lambda it: it[1]  # noqa: E731
+QUERY = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean")
+WINDOW = WindowConfig(10.0, 5.0)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return stream_by_rates({"A": 8000, "B": 2000, "C": 100}, duration=12, seed=77)
+
+
+def run_with_costs(cls, stream, costs, fraction=0.6):
+    """Run a batched system with a custom CostProfile injected."""
+    system = cls(QUERY, WINDOW, SystemConfig(sampling_fraction=fraction))
+    original = system._make_context
+
+    def patched():
+        ctx = original()
+        ctx.cluster.costs = costs
+        return ctx
+
+    system._make_context = patched
+    return system.run(stream)
+
+
+class TestOrderingsSurvivePerturbation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"item_process": DEFAULT_COSTS.item_process * 2},
+            {"item_process": DEFAULT_COSTS.item_process * 0.5},
+            {"barrier_sync": DEFAULT_COSTS.barrier_sync * 2},
+            {"item_batch_form": DEFAULT_COSTS.item_batch_form * 2},
+            {"task_schedule": DEFAULT_COSTS.task_schedule * 2},
+        ],
+    )
+    def test_streamapprox_beats_sts_under_any_perturbation(self, stream, overrides):
+        costs = DEFAULT_COSTS.scaled(**overrides)
+        sa = run_with_costs(SparkStreamApproxSystem, stream, costs)
+        sts = run_with_costs(SparkSTSSystem, stream, costs)
+        assert sa.throughput > sts.throughput
+
+    def test_sampling_still_beats_native_at_low_fraction(self, stream):
+        costs = DEFAULT_COSTS.scaled(item_process=DEFAULT_COSTS.item_process * 0.5)
+        sa = run_with_costs(SparkStreamApproxSystem, stream, costs, fraction=0.1)
+        native = run_with_costs(NativeSparkSystem, stream, costs, fraction=1.0)
+        assert sa.throughput > native.throughput
+
+
+class TestConstantsMoveTheRightSystem:
+    def test_barrier_cost_hits_sts_hardest(self, stream):
+        cheap = DEFAULT_COSTS.scaled(barrier_sync=DEFAULT_COSTS.barrier_sync * 0.1)
+        dear = DEFAULT_COSTS.scaled(barrier_sync=DEFAULT_COSTS.barrier_sync * 10)
+
+        def slowdown(cls):
+            fast = run_with_costs(cls, stream, cheap).throughput
+            slow = run_with_costs(cls, stream, dear).throughput
+            return fast / slow
+
+        assert slowdown(SparkSTSSystem) > slowdown(SparkStreamApproxSystem)
+        assert slowdown(SparkSTSSystem) > slowdown(SparkSRSSystem)
+
+    def test_batch_formation_cost_spares_streamapprox(self, stream):
+        """SA forms RDDs only from sampled items, so inflating the copy cost
+        slows it less than the baselines that batch everything."""
+        dear = DEFAULT_COSTS.scaled(item_batch_form=DEFAULT_COSTS.item_batch_form * 10)
+
+        def slowdown(cls):
+            base = run_with_costs(cls, stream, DEFAULT_COSTS, fraction=0.2).throughput
+            slow = run_with_costs(cls, stream, dear, fraction=0.2).throughput
+            return base / slow
+
+        assert slowdown(SparkSRSSystem) > slowdown(SparkStreamApproxSystem)
+
+    def test_processing_cost_hits_native_hardest(self, stream):
+        dear = DEFAULT_COSTS.scaled(item_process=DEFAULT_COSTS.item_process * 4)
+
+        def slowdown(cls, fraction):
+            base = run_with_costs(cls, stream, DEFAULT_COSTS, fraction).throughput
+            slow = run_with_costs(cls, stream, dear, fraction).throughput
+            return base / slow
+
+        assert slowdown(NativeSparkSystem, 1.0) > slowdown(
+            SparkStreamApproxSystem, 0.2
+        )
+
+
+class TestStructuralAccounting:
+    def test_partition_size_controls_task_count(self):
+        fine = SimulatedCluster(costs=DEFAULT_COSTS.scaled(partition_size=100))
+        coarse = SimulatedCluster(costs=DEFAULT_COSTS.scaled(partition_size=100_000))
+        MiniRDD.parallelize(fine, list(range(10_000))).collect()
+        MiniRDD.parallelize(coarse, list(range(10_000))).collect()
+        assert fine.stats.tasks_launched > coarse.stats.tasks_launched
+
+    def test_presampling_saves_exactly_the_dropped_copies(self):
+        n, kept = 10_000, 4_000
+        full = StreamingContext(batch_interval=1.0)
+        full.cluster.costs = DEFAULT_COSTS
+        full.rdd_of(list(range(n)))
+        pre = StreamingContext(batch_interval=1.0)
+        pre.cluster.costs = DEFAULT_COSTS
+        pre.rdd_of_presampled(list(range(kept)), skipped=n - kept)
+        saved = full.cluster.elapsed() - pre.cluster.elapsed()
+        expected = (n - kept) * DEFAULT_COSTS.item_batch_form / full.cluster.effective_parallelism
+        assert saved == pytest.approx(expected, rel=0.05)

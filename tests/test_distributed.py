@@ -1,0 +1,114 @@
+"""Tests for synchronization-free distributed OASRS (§3.2)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.distributed import DistributedOASRS
+from repro.core.oasrs import FixedPerStratum, oasrs_sample
+from repro.core.query import approximate_sum
+
+KEY = lambda item: item[0]  # noqa: E731
+VAL = lambda item: item[1]  # noqa: E731
+
+
+def make_stream(spec, seed=0):
+    rng = random.Random(seed)
+    items = []
+    for key, n in spec.items():
+        items.extend((key, rng.gauss(100, 10)) for _ in range(n))
+    rng.shuffle(items)
+    return items
+
+
+class TestConstruction:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DistributedOASRS(0, FixedPerStratum(5), key_fn=KEY)
+
+    def test_round_robin_routing(self):
+        d = DistributedOASRS(3, FixedPerStratum(5), key_fn=KEY, rng=random.Random(0))
+        assigned = [d.offer(("a", i)) for i in range(6)]
+        assert assigned == [0, 1, 2, 0, 1, 2]
+
+    def test_custom_route_fn(self):
+        d = DistributedOASRS(
+            2, FixedPerStratum(5), key_fn=KEY, rng=random.Random(0),
+            route_fn=lambda item, idx: hash(item[0]),
+        )
+        w1 = d.offer(("a", 1))
+        w2 = d.offer(("a", 2))
+        assert w1 == w2  # same key → same worker under the hash partitioner
+
+
+class TestMergeSemantics:
+    def test_counters_sum_across_workers(self):
+        d = DistributedOASRS(4, FixedPerStratum(10), key_fn=KEY, rng=random.Random(1))
+        d.offer_many(make_stream({"a": 100, "b": 7}))
+        merged = d.close_interval()
+        assert merged["a"].count == 100
+        assert merged["b"].count == 7
+
+    def test_per_worker_capacity_is_global_over_w(self):
+        """Each worker's reservoir is ⌈N/w⌉, so the merge is ≈ N items."""
+        d = DistributedOASRS(4, FixedPerStratum(20), key_fn=KEY, rng=random.Random(2))
+        d.offer_many(make_stream({"a": 10_000}))
+        merged = d.close_interval()
+        assert merged["a"].sample_size == 20  # 4 workers × 5 each
+
+    def test_underfull_stratum_entirely_kept(self):
+        d = DistributedOASRS(4, FixedPerStratum(100), key_fn=KEY, rng=random.Random(3))
+        d.offer_many(make_stream({"rare": 3}))
+        merged = d.close_interval()
+        assert merged["rare"].sample_size == 3
+        assert merged["rare"].weight == 1.0
+
+    def test_interval_reset(self):
+        d = DistributedOASRS(2, FixedPerStratum(5), key_fn=KEY, rng=random.Random(4))
+        d.offer_many(make_stream({"a": 50}))
+        d.close_interval()
+        second = d.close_interval()
+        assert second.total_count == 0
+
+    def test_rare_stratum_survives_distribution(self):
+        """Distribution must not reintroduce the overlooked-stratum problem."""
+        stream = make_stream({"big": 50_000, "rare": 2})
+        d = DistributedOASRS(8, FixedPerStratum(16), key_fn=KEY, rng=random.Random(5))
+        d.offer_many(stream)
+        merged = d.close_interval()
+        assert "rare" in merged
+        assert merged["rare"].sample_size == 2
+
+
+class TestStatisticalEquivalence:
+    def test_distributed_matches_single_reservoir_estimates(self):
+        """w local reservoirs of N/w estimate as well as one of N (ablation)."""
+        stream = make_stream({"a": 3000, "b": 300}, seed=10)
+        truth = sum(v for _k, v in stream)
+
+        def relative_errors(estimator, trials=60):
+            errors = []
+            for seed in range(trials):
+                sample = estimator(seed)
+                est = approximate_sum(sample, VAL).value
+                errors.append(abs(est - truth) / truth)
+            return errors
+
+        def single(seed):
+            return oasrs_sample(stream, 64, key_fn=KEY, rng=random.Random(seed))
+
+        def distributed(seed):
+            d = DistributedOASRS(4, FixedPerStratum(64), key_fn=KEY, rng=random.Random(seed))
+            d.offer_many(stream)
+            return d.close_interval()
+
+        err_single = statistics.fmean(relative_errors(single))
+        err_dist = statistics.fmean(relative_errors(distributed))
+        # Mean relative errors should be comparable (within 2× of each other).
+        assert err_dist < max(2.5 * err_single, 0.05)
+
+    def test_convenience_constructor(self):
+        d = DistributedOASRS.with_fixed_reservoirs(2, 5, key_fn=KEY, rng=random.Random(0))
+        d.offer_many(make_stream({"a": 20}))
+        assert d.close_interval()["a"].count == 20

@@ -1,0 +1,120 @@
+"""Tests for non-stationary (drifting-rate) workloads and OASRS adaptivity."""
+
+import pytest
+
+from repro.system import (
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+)
+from repro.workloads.drift import (
+    RatePhase,
+    RateSchedule,
+    drifting_stream,
+    flash_crowd_schedule,
+    rate_swap_schedule,
+)
+
+KEY = lambda it: it[0]  # noqa: E731
+VAL = lambda it: it[1]  # noqa: E731
+
+
+class TestSchedules:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            RatePhase(0.0, {"A": 1.0})
+        with pytest.raises(ValueError):
+            RatePhase(1.0, {"A": -1.0})
+        with pytest.raises(ValueError):
+            RateSchedule(())
+
+    def test_duration_sums_phases(self):
+        schedule = rate_swap_schedule(phase_seconds=15.0)
+        assert schedule.duration == 30.0
+
+    def test_rate_at_follows_phases(self):
+        schedule = rate_swap_schedule(high=8000, low=100, phase_seconds=20)
+        assert schedule.rate_at("A", 5.0) == 8000
+        assert schedule.rate_at("A", 25.0) == 100
+        assert schedule.rate_at("C", 25.0) == 8000
+        # Past the end, the last phase's rates persist.
+        assert schedule.rate_at("C", 999.0) == 8000
+
+    def test_flash_crowd_shape(self):
+        schedule = flash_crowd_schedule(base=1000, spike=10_000, phase_seconds=10)
+        assert schedule.rate_at("B", 5.0) == 1000
+        assert schedule.rate_at("B", 15.0) == 10_000
+        assert schedule.rate_at("B", 25.0) == 1000
+
+
+class TestDriftingStream:
+    def test_counts_follow_schedule(self):
+        stream = drifting_stream(rate_swap_schedule(800, 10, 10.0), seed=1)
+        first_half = [it for ts, it in stream if ts < 10.0]
+        second_half = [it for ts, it in stream if ts >= 10.0]
+        a_first = sum(1 for k, _v in first_half if k == "A")
+        a_second = sum(1 for k, _v in second_half if k == "A")
+        assert a_first > 10 * a_second  # A collapses after the swap
+
+    def test_time_ordered(self):
+        stream = drifting_stream(flash_crowd_schedule(500, 2000, 5.0), seed=2)
+        timestamps = [ts for ts, _ in stream]
+        assert timestamps == sorted(timestamps)
+
+    def test_deterministic(self):
+        a = drifting_stream(rate_swap_schedule(200, 10, 5.0), seed=3)
+        b = drifting_stream(rate_swap_schedule(200, 10, 5.0), seed=3)
+        assert a == b
+
+    def test_value_distribution_continuous_across_phases(self):
+        """B's rate never changes, so its values must be one long draw."""
+        stream = drifting_stream(rate_swap_schedule(400, 10, 10.0), seed=4)
+        b_values = [v for _ts, (k, v) in stream if k == "B"]
+        # B ~ N(1000, 50) throughout; crude check on both halves.
+        half = len(b_values) // 2
+        mean1 = sum(b_values[:half]) / half
+        mean2 = sum(b_values[half:]) / (len(b_values) - half)
+        assert abs(mean1 - 1000) < 25 and abs(mean2 - 1000) < 25
+
+
+class TestAdaptivityUnderDrift:
+    def test_oasrs_weights_track_rate_swap(self):
+        """After the swap, OASRS's per-pane samples re-weight automatically:
+        the stratum that became rare is fully kept (weight → 1)."""
+        stream = drifting_stream(rate_swap_schedule(4000, 50, 15.0), seed=5)
+        query = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean", group_fn=KEY)
+        report = SparkStreamApproxSystem(
+            query, WindowConfig(10.0, 5.0), SystemConfig(sampling_fraction=0.3)
+        ).run(stream)
+        early = report.results[1]
+        late = report.results[-1]
+        # Accuracy holds on both sides of the swap.
+        assert early.accuracy_loss < 0.05
+        assert late.accuracy_loss < 0.05
+        # Every stratum stays represented in every pane, before and after.
+        for pane in report.results:
+            assert set(pane.exact_groups) == set(pane.groups)
+
+    def test_oasrs_stays_accurate_under_flash_crowd(self):
+        stream = drifting_stream(flash_crowd_schedule(1500, 12000, 10.0), seed=6)
+        query = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean")
+        report = SparkStreamApproxSystem(
+            query, WindowConfig(10.0, 5.0), SystemConfig(sampling_fraction=0.3)
+        ).run(stream)
+        for pane in report.results:
+            if pane.accuracy_loss is not None:
+                assert pane.accuracy_loss < 0.05
+
+    def test_oasrs_no_worse_than_sts_through_drift(self):
+        """STS re-derives fractions per batch here (a *favourable* STS
+        setup); OASRS must still match its accuracy through the swap."""
+        stream = drifting_stream(rate_swap_schedule(4000, 50, 15.0), seed=7)
+        query = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean")
+        cfg = SystemConfig(sampling_fraction=0.3)
+        window = WindowConfig(10.0, 5.0)
+        oasrs = SparkStreamApproxSystem(query, window, cfg).run(stream)
+        sts = SparkSTSSystem(query, window, cfg).run(stream)
+        assert oasrs.mean_accuracy_loss() < max(2 * sts.mean_accuracy_loss(), 0.01)
+        assert oasrs.throughput > 1.3 * sts.throughput

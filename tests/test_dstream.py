@@ -1,0 +1,109 @@
+"""Tests for micro-batching and sliding windows (batched engine)."""
+
+import pytest
+
+from repro.engine.batched.context import StreamingContext
+from repro.engine.batched.dstream import Batcher, SlidingWindower
+
+
+def ts_stream(values):
+    """[(timestamp, item)...] convenience."""
+    return list(values)
+
+
+class TestBatcher:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            Batcher(0)
+
+    def test_items_assigned_to_their_interval(self):
+        batches = list(Batcher(1.0).batches([(0.1, "a"), (0.9, "b"), (1.5, "c")]))
+        assert [b.items for b in batches] == [("a", "b"), ("c",)]
+        assert batches[0].start == 0.0
+        assert batches[1].start == 1.0
+
+    def test_empty_intervals_emitted(self):
+        batches = list(Batcher(1.0).batches([(0.5, "a"), (3.5, "b")]))
+        assert [len(b) for b in batches] == [1, 0, 0, 1]
+        assert [b.index for b in batches] == [0, 1, 2, 3]
+
+    def test_boundary_item_goes_to_next_batch(self):
+        batches = list(Batcher(1.0).batches([(0.5, "a"), (1.0, "b")]))
+        assert batches[0].items == ("a",)
+        assert batches[1].items == ("b",)
+
+    def test_pre_start_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            list(Batcher(1.0, start=5.0).batches([(1.0, "x")]))
+
+    def test_batch_time_span(self):
+        batch = next(iter(Batcher(0.25).batches([(0.1, "a")])))
+        assert batch.end == pytest.approx(0.25)
+
+
+class TestSlidingWindower:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindower(0, 5, 1)
+        with pytest.raises(ValueError):
+            SlidingWindower(10, -5, 1)
+        with pytest.raises(ValueError):
+            SlidingWindower(10, 2.5, 1)  # not a multiple
+
+    def test_paper_configuration(self):
+        """w = 10 s, δ = 5 s, batch = 1 s: a pane every 5 batches covering 10."""
+        stream = [(t + 0.5, t) for t in range(30)]
+        batches = Batcher(1.0).batches(stream)
+        panes = list(SlidingWindower(10.0, 5.0, 1.0).panes(batches))
+        assert [p.end for p in panes] == [5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+        # From the third pane on, each covers exactly 10 batches.
+        assert all(len(p.batches) == 10 for p in panes[1:])
+        # Items in the pane ending at 15 are those with 5 <= t < 15.
+        pane15 = panes[2]
+        assert sorted(pane15.items) == list(range(5, 15))
+
+    def test_early_panes_partial(self):
+        stream = [(t + 0.5, t) for t in range(5)]
+        panes = list(SlidingWindower(10.0, 5.0, 1.0).panes(Batcher(1.0).batches(stream)))
+        assert len(panes) == 1
+        assert len(panes[0].batches) == 5  # only 5 batches exist yet
+
+    def test_tumbling_window(self):
+        stream = [(t + 0.5, t) for t in range(9)]
+        panes = list(SlidingWindower(3.0, 3.0, 1.0).panes(Batcher(1.0).batches(stream)))
+        assert [sorted(p.items) for p in panes] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_pane_start_property(self):
+        stream = [(t + 0.5, t) for t in range(20)]
+        panes = list(SlidingWindower(10.0, 5.0, 1.0).panes(Batcher(1.0).batches(stream)))
+        assert panes[-1].start == panes[-1].end - 10.0
+
+
+class TestStreamingContext:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingContext(batch_interval=0)
+
+    def test_rdd_of_charges_all_items(self):
+        ctx = StreamingContext(batch_interval=1.0)
+        ctx.rdd_of(list(range(100)))
+        assert ctx.cluster.stats.items_ingested == 100
+
+    def test_presampled_rdd_charges_ingest_for_skipped(self):
+        ctx = StreamingContext(batch_interval=1.0)
+        ctx.rdd_of_presampled(list(range(40)), skipped=60)
+        assert ctx.cluster.stats.items_ingested == 100
+
+    def test_presampled_cheaper_than_full(self):
+        """Sampling before RDD formation saves the copy for dropped items."""
+        full = StreamingContext(batch_interval=1.0)
+        full.rdd_of(list(range(10_000)))
+        pre = StreamingContext(batch_interval=1.0)
+        pre.rdd_of_presampled(list(range(4_000)), skipped=6_000)
+        assert pre.cluster.elapsed() < full.cluster.elapsed()
+
+    def test_factories(self):
+        ctx = StreamingContext(batch_interval=0.5)
+        assert ctx.batcher().interval == 0.5
+        w = ctx.windower(10.0, 5.0)
+        assert w.length == 10.0 and w.slide == 5.0

@@ -1,0 +1,167 @@
+"""Tests for error estimation (Equations 5–9 and the 68-95-99.7 rule)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.error import (
+    ErrorBound,
+    confidence_z,
+    estimate_error,
+    required_sample_size,
+    variance_of_mean,
+    variance_of_sum,
+)
+from repro.core.oasrs import oasrs_sample
+from repro.core.query import (
+    StratumStats,
+    approximate_count,
+    approximate_mean,
+    approximate_sum,
+)
+
+KEY = lambda item: item[0]  # noqa: E731
+VAL = lambda item: item[1]  # noqa: E731
+
+
+def stats(key="s", y=10, c=100, weight=10.0, total=50.0, mean=5.0, variance=4.0):
+    return StratumStats(key=key, y=y, c=c, weight=weight, total=total, mean=mean, variance=variance)
+
+
+class TestConfidenceRule:
+    def test_68_95_997(self):
+        assert confidence_z(0.68) == 1.0
+        assert confidence_z(0.95) == 2.0
+        assert confidence_z(0.997) == 3.0
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_z(0.5)
+
+
+class TestVarianceFormulas:
+    def test_equation6_single_stratum(self):
+        # C (C - Y) s^2 / Y = 100 * 90 * 4 / 10 = 3600
+        assert variance_of_sum([stats()]) == pytest.approx(3600.0)
+
+    def test_equation6_additivity(self):
+        a, b = stats(key="a"), stats(key="b", c=50, y=5, variance=2.0)
+        assert variance_of_sum([a, b]) == pytest.approx(
+            variance_of_sum([a]) + variance_of_sum([b])
+        )
+
+    def test_fully_sampled_stratum_contributes_zero(self):
+        full = stats(y=100, c=100, weight=1.0)
+        assert variance_of_sum([full]) == 0.0
+        assert variance_of_mean([full]) == 0.0
+
+    def test_single_item_stratum_contributes_zero(self):
+        assert variance_of_sum([stats(y=1)]) == 0.0
+
+    def test_equation9_single_stratum(self):
+        # omega = 1; (s2/Y) * (C-Y)/C = (4/10) * 0.9 = 0.36
+        assert variance_of_mean([stats()]) == pytest.approx(0.36)
+
+    def test_equation9_omega_weighting(self):
+        a = stats(key="a", c=900, y=10, variance=4.0)
+        b = stats(key="b", c=100, y=10, variance=4.0)
+        va = (900 / 1000) ** 2 * (4.0 / 10) * (890 / 900)
+        vb = (100 / 1000) ** 2 * (4.0 / 10) * (90 / 100)
+        assert variance_of_mean([a, b]) == pytest.approx(va + vb)
+
+    def test_empty_strata(self):
+        assert variance_of_sum([]) == 0.0
+        assert variance_of_mean([]) == 0.0
+
+    @settings(max_examples=80)
+    @given(
+        c=st.integers(2, 10**5),
+        y=st.integers(2, 10**3),
+        variance=st.floats(0, 1e6, allow_nan=False),
+    )
+    def test_variances_non_negative(self, c, y, variance):
+        s = stats(c=max(c, y), y=y, variance=variance)
+        assert variance_of_sum([s]) >= 0.0
+        assert variance_of_mean([s]) >= 0.0
+
+
+class TestErrorBound:
+    def test_margin_is_z_sigma(self):
+        bound = ErrorBound(value=10.0, variance=4.0, confidence=0.95, margin=4.0)
+        assert bound.stddev == 2.0
+        assert bound.interval == (6.0, 14.0)
+        assert bound.covers(7.0) and not bound.covers(15.0)
+
+    def test_relative_margin(self):
+        bound = ErrorBound(value=100.0, variance=1.0, confidence=0.95, margin=2.0)
+        assert bound.relative_margin == pytest.approx(0.02)
+        zero = ErrorBound(value=0.0, variance=1.0, confidence=0.95, margin=2.0)
+        assert math.isinf(zero.relative_margin)
+
+    def test_str_format(self):
+        bound = ErrorBound(value=1.0, variance=0.01, confidence=0.95, margin=0.2)
+        assert "±" in str(bound)
+
+    def test_estimate_error_dispatch(self):
+        ws_items = [("a", float(v)) for v in range(100)]
+        sample = oasrs_sample(ws_items, 20, key_fn=KEY, rng=random.Random(0))
+        sum_bound = estimate_error(approximate_sum(sample, VAL))
+        mean_bound = estimate_error(approximate_mean(sample, VAL))
+        count_bound = estimate_error(approximate_count(sample))
+        assert sum_bound.margin > 0
+        assert mean_bound.margin > 0
+        assert count_bound.margin == 0.0  # counters are exact under OASRS
+
+    def test_unknown_kind_rejected(self):
+        from repro.core.query import QueryResult
+
+        with pytest.raises(ValueError):
+            estimate_error(QueryResult(value=1.0, strata=[], kind="median"))
+
+
+class TestCoverage:
+    def test_two_sigma_interval_covers_truth_about_95_percent(self):
+        """Statistical validation of §3.3 on a Gaussian stream."""
+        rng = random.Random(123)
+        population = [("s", rng.gauss(50, 10)) for _ in range(2000)]
+        truth = sum(v for _k, v in population)
+        covered = 0
+        trials = 200
+        for seed in range(trials):
+            sample = oasrs_sample(population, 200, key_fn=KEY, rng=random.Random(seed))
+            bound = estimate_error(approximate_sum(sample, VAL), confidence=0.95)
+            covered += bound.covers(truth)
+        # Expect ≈ 95%; accept anything ≥ 88% to avoid flakiness.
+        assert covered / trials >= 0.88
+
+    def test_error_shrinks_with_sample_size(self):
+        rng = random.Random(9)
+        population = [("s", rng.gauss(0, 1)) for _ in range(5000)]
+        margins = []
+        for n in (50, 200, 1000):
+            sample = oasrs_sample(population, n, key_fn=KEY, rng=random.Random(1))
+            margins.append(estimate_error(approximate_sum(sample, VAL)).margin)
+        assert margins[0] > margins[1] > margins[2]
+
+
+class TestRequiredSampleSize:
+    def test_zero_population(self):
+        assert required_sample_size(0, 1.0, 0.1) == 0
+
+    def test_full_population_when_no_tolerance(self):
+        assert required_sample_size(100, 1.0, 0.0) == 100
+
+    def test_monotone_in_margin(self):
+        loose = required_sample_size(10_000, 25.0, 5000.0)
+        tight = required_sample_size(10_000, 25.0, 500.0)
+        assert tight >= loose
+
+    def test_achieves_margin(self):
+        """Plugging the answer back into Eq. 6 meets the target margin."""
+        c, s2, margin = 10_000, 25.0, 2000.0
+        y = required_sample_size(c, s2, margin, confidence=0.95)
+        achieved = 2.0 * math.sqrt(c * (c - y) * s2 / y)
+        assert achieved <= margin * 1.01

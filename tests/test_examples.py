@@ -1,0 +1,73 @@
+"""Smoke tests: every shipped example runs to completion and prints results.
+
+Examples are documentation that executes; if one breaks, the README's
+promises break with it.  Each is imported as a module and its ``main()``
+exercised under captured stdout.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_example(name: str) -> str:
+    module = load_example(name)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 4  # quickstart + ≥3 domain examples
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert len(output.splitlines()) >= 5  # produced a real report
+
+
+def test_quickstart_shows_error_bounds():
+    output = run_example("quickstart.py")
+    assert "±" in output
+    assert "throughput" in output
+
+
+def test_network_monitoring_reports_speedup():
+    output = run_example("network_monitoring.py")
+    assert "speedup" in output
+    assert "ICMP" in output  # the rare stratum made it into the report
+
+
+def test_taxi_example_shows_srs_misses():
+    output = run_example("taxi_analytics.py")
+    assert "SRS lost at least one borough" in output
+    assert "StreamApprox" in output
+
+
+def test_iot_example_learns_structure():
+    output = run_example("iot_unlabeled_stream.py")
+    assert "mixture centres" in output
+    assert "tighter" in output
+
+
+def test_budgeted_query_converges():
+    output = run_example("budgeted_query.py")
+    assert "converged" in output
+    assert "AccuracyBudget" in output

@@ -1,0 +1,86 @@
+"""Tests for per-bin histogram error bounds (`grouped_sum_results`)."""
+
+import random
+
+import pytest
+
+from repro.core.error import estimate_error
+from repro.core.oasrs import oasrs_sample
+from repro.core.query import grouped_sum, grouped_sum_results, histogram, histogram_with_errors
+from repro.core.strata import StratumSample, WeightedSample
+
+KEY = lambda item: item[0]  # noqa: E731
+VAL = lambda item: item[1]  # noqa: E731
+
+
+def fixed_sample():
+    ws = WeightedSample()
+    ws.add(StratumSample("s1", (("g", 1.0), ("g", 3.0), ("h", 2.0)), 9, 3.0))
+    ws.add(StratumSample("s2", (("g", 5.0),), 1, 1.0))
+    return ws
+
+
+class TestGroupedSumResults:
+    def test_values_match_grouped_sum(self):
+        ws = fixed_sample()
+        plain = grouped_sum(ws, group_fn=KEY, value_fn=VAL)
+        rich = grouped_sum_results(ws, group_fn=KEY, value_fn=VAL)
+        for group, result in rich.items():
+            assert result.value == pytest.approx(plain[group])
+
+    def test_results_carry_per_stratum_stats(self):
+        rich = grouped_sum_results(fixed_sample(), group_fn=KEY, value_fn=VAL)
+        g = rich["g"]
+        assert g.kind == "sum"
+        assert len(g.strata) == 2  # group g spans both strata
+
+    def test_error_bounds_attachable(self):
+        rich = grouped_sum_results(fixed_sample(), group_fn=KEY, value_fn=VAL)
+        bound = estimate_error(rich["g"], confidence=0.95)
+        assert bound.margin >= 0.0
+        assert bound.value == pytest.approx(rich["g"].value)
+
+    def test_fully_kept_group_zero_variance(self):
+        ws = WeightedSample()
+        ws.add(StratumSample("s", (("g", 1.0), ("g", 2.0)), 2, 1.0))
+        rich = grouped_sum_results(ws, group_fn=KEY, value_fn=VAL)
+        bound = estimate_error(rich["g"])
+        assert bound.margin == 0.0
+
+
+class TestHistogramWithErrors:
+    def test_bin_estimates_match_plain_histogram(self):
+        ws = fixed_sample()
+        plain = histogram(ws, bin_fn=KEY)
+        rich = histogram_with_errors(ws, bin_fn=KEY)
+        for bin_key, result in rich.items():
+            assert result.value == pytest.approx(plain[bin_key])
+
+    def test_bounds_cover_true_bin_counts(self):
+        """2σ bins cover the true counts most of the time on a real sample."""
+        rng = random.Random(4)
+        items = [("s", rng.choice("abcd")) for _ in range(8000)]
+        true_counts = {}
+        for _k, letter in items:
+            true_counts[letter] = true_counts.get(letter, 0) + 1
+
+        covered = trials = 0
+        for seed in range(30):
+            sample = oasrs_sample(items, 600, key_fn=KEY, rng=random.Random(seed))
+            rich = histogram_with_errors(sample, bin_fn=lambda it: it[1])
+            for letter, result in rich.items():
+                bound = estimate_error(result, confidence=0.95)
+                trials += 1
+                covered += bound.covers(true_counts[letter])
+        assert covered / trials >= 0.8
+
+    def test_rare_bin_has_wider_relative_bound(self):
+        rng = random.Random(5)
+        items = [("s", "common") for _ in range(9900)] + [("s", "rare")] * 100
+        rng.shuffle(items)
+        sample = oasrs_sample(items, 500, key_fn=KEY, rng=random.Random(6))
+        rich = histogram_with_errors(sample, bin_fn=lambda it: it[1])
+        if "rare" in rich and "common" in rich:
+            rare = estimate_error(rich["rare"])
+            common = estimate_error(rich["common"])
+            assert rare.relative_margin >= common.relative_margin

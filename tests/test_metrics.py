@@ -1,0 +1,114 @@
+"""Tests for measurement collection and accuracy analysis."""
+
+import pytest
+
+from repro.core.error import ErrorBound
+from repro.metrics.accuracy import coverage_rate, mean_timeseries, timeseries_deviation
+from repro.metrics.collector import ExperimentCollector, Measurement, format_table
+from repro.system.base import SystemReport, WindowResult
+
+
+def make_report(system="sys", panes=None, seconds=1.0, items=100):
+    results = []
+    for end, estimate, exact in panes or []:
+        results.append(
+            WindowResult(
+                end=end,
+                estimate=estimate,
+                exact=exact,
+                error=ErrorBound(estimate, variance=1.0, confidence=0.95, margin=2.0),
+            )
+        )
+    return SystemReport(
+        system=system, results=results, virtual_seconds=seconds, items_total=items
+    )
+
+
+class TestSystemReport:
+    def test_throughput(self):
+        report = make_report(seconds=2.0, items=500)
+        assert report.throughput == 250.0
+
+    def test_throughput_zero_time(self):
+        assert make_report(seconds=0.0).throughput == 0.0
+
+    def test_mean_accuracy_loss(self):
+        report = make_report(panes=[(5.0, 102.0, 100.0), (10.0, 99.0, 100.0)])
+        assert report.mean_accuracy_loss() == pytest.approx((0.02 + 0.01) / 2)
+
+    def test_mean_accuracy_loss_empty(self):
+        assert make_report().mean_accuracy_loss() == 0.0
+
+    def test_mean_estimates_series(self):
+        report = make_report(panes=[(5.0, 1.0, 1.0), (10.0, 2.0, 2.0)])
+        assert report.mean_estimates() == [(5.0, 1.0), (10.0, 2.0)]
+
+
+class TestCollector:
+    def _collector(self):
+        c = ExperimentCollector("fig-test")
+        c.record(0.1, make_report("sysA", seconds=1.0, items=1000))
+        c.record(0.1, make_report("sysA", seconds=1.0, items=3000))  # repeat run
+        c.record(0.1, make_report("sysB", seconds=2.0, items=1000))
+        c.record(0.6, make_report("sysA", seconds=4.0, items=1000))
+        return c
+
+    def test_systems_and_settings_order(self):
+        c = self._collector()
+        assert c.systems() == ["sysA", "sysB"]
+        assert c.settings() == [0.1, 0.6]
+
+    def test_series_averages_repeats(self):
+        c = self._collector()
+        series = dict(c.series("sysA", "throughput"))
+        assert series[0.1] == pytest.approx((1000 + 3000) / 2)
+
+    def test_value_and_missing(self):
+        c = self._collector()
+        assert c.value("sysB", 0.1, "throughput") == 500.0
+        assert c.value("sysB", 0.6, "throughput") is None
+
+    def test_ratio(self):
+        c = self._collector()
+        assert c.ratio("sysA", "sysB", 0.1, "throughput") == pytest.approx(4.0)
+        assert c.ratio("sysA", "sysB", 0.6, "throughput") is None
+
+    def test_table_renders(self):
+        c = self._collector()
+        table = c.table("throughput")
+        assert "fig-test" in table
+        assert "sysA" in table and "sysB" in table
+        assert "0.1" in table
+
+    def test_format_table_missing_cell(self):
+        c = self._collector()
+        assert "-" in format_table(c, "throughput")
+
+
+class TestAccuracyHelpers:
+    def test_mean_timeseries(self):
+        report = make_report(panes=[(5.0, 1.5, 1.0)])
+        assert mean_timeseries(report) == [(5.0, 1.5, 1.0)]
+
+    def test_timeseries_deviation(self):
+        report = make_report(panes=[(5.0, 110.0, 100.0), (10.0, 100.0, 100.0)])
+        # RMS of [0.1, 0.0]
+        assert timeseries_deviation(report) == pytest.approx((0.01 / 2) ** 0.5)
+
+    def test_timeseries_deviation_empty(self):
+        assert timeseries_deviation(make_report()) == 0.0
+
+    def test_coverage_rate(self):
+        report = make_report(
+            panes=[(5.0, 100.0, 101.0), (10.0, 100.0, 150.0)]  # margin is 2.0
+        )
+        assert coverage_rate(report) == 0.5
+
+    def test_coverage_rate_empty(self):
+        assert coverage_rate(make_report()) == 0.0
+
+
+class TestMeasurement:
+    def test_fields(self):
+        m = Measurement("s", 0.5, 100.0, 0.01, 2.0)
+        assert m.system == "s" and m.setting == 0.5

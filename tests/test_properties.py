@@ -1,0 +1,202 @@
+"""Cross-module property-based tests (hypothesis) on system invariants.
+
+These complement the per-module suites with properties that span layers:
+conservation of items through batching/windowing, budget accounting in the
+water-filling allocator, algebraic laws of the sample merge, and estimator
+consistency between the sampled and exact paths.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oasrs import oasrs_sample, water_filling_capacities
+from repro.core.query import approximate_mean, approximate_sum
+from repro.core.strata import (
+    StratumSample,
+    WeightedSample,
+    combine_worker_samples,
+    stratum_weight,
+)
+from repro.engine.batched.dstream import Batcher, SlidingWindower
+from repro.sampling.srs import ScaSRSSampler
+
+KEY = lambda it: it[0]  # noqa: E731
+VAL = lambda it: it[1]  # noqa: E731
+
+
+# ---------------------------------------------------------------- batching
+
+@settings(max_examples=50, deadline=None)
+@given(
+    timestamps=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=0,
+        max_size=200,
+    ),
+    interval=st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+)
+def test_batcher_conserves_items(timestamps, interval):
+    """Every stream item lands in exactly one micro-batch, in its interval."""
+    stream = [(ts, i) for i, ts in enumerate(sorted(timestamps))]
+    batches = list(Batcher(interval).batches(stream))
+    emitted = [x for b in batches for x in b.items]
+    assert sorted(emitted) == [i for i, _ts in enumerate(timestamps)]
+    for batch in batches:
+        for item in batch.items:
+            ts = stream[item][0]
+            assert batch.start <= ts < batch.end + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 150),
+    per_window=st.integers(1, 6),
+    per_slide=st.integers(1, 3),
+)
+def test_window_panes_cover_expected_batches(n, per_window, per_slide):
+    if per_slide > per_window:
+        per_window = per_slide
+    interval = 1.0
+    stream = [(t + 0.5, t) for t in range(n)]
+    windower = SlidingWindower(per_window * interval, per_slide * interval, interval)
+    for pane in windower.panes(Batcher(interval).batches(stream)):
+        assert 1 <= len(pane.batches) <= per_window
+        # Batches inside a pane are consecutive and end at the pane's end.
+        indices = [b.index for b in pane.batches]
+        assert indices == list(range(indices[0], indices[0] + len(indices)))
+        assert pane.batches[-1].end == pytest.approx(pane.end)
+
+
+# ---------------------------------------------------------------- allocation
+
+@settings(max_examples=100)
+@given(
+    counts=st.dictionaries(
+        st.integers(0, 20), st.integers(0, 10_000), min_size=1, max_size=10
+    ),
+    budget=st.integers(1, 5_000),
+)
+def test_water_filling_budget_accounting(counts, budget):
+    capacities = water_filling_capacities(counts, budget)
+    active = {k: c for k, c in counts.items() if c > 0}
+    assert set(capacities) == set(active)
+    for key, cap in capacities.items():
+        assert cap >= 1
+        # Never allocate above the stratum's own size (beyond the 1 floor).
+        assert cap <= max(1, active[key])
+    # Total allocation stays within budget + the per-stratum floors.
+    assert sum(capacities.values()) <= budget + len(active)
+
+
+@settings(max_examples=60)
+@given(
+    counts=st.dictionaries(
+        st.integers(0, 10), st.integers(1, 1000), min_size=2, max_size=8
+    ),
+    budget=st.integers(10, 2000),
+)
+def test_water_filling_small_strata_kept_whole(counts, budget):
+    """Any stratum smaller than the final level is retained entirely."""
+    capacities = water_filling_capacities(counts, budget)
+    level = max(capacities.values())
+    for key, count in counts.items():
+        if count < level:
+            assert capacities[key] == max(1, min(count, capacities[key]))
+            if count <= budget // len(counts):
+                assert capacities[key] == max(1, count)
+
+
+# ---------------------------------------------------------------- merge laws
+
+def _stratum(key, values, count):
+    return StratumSample(key, tuple(values), count, stratum_weight(count, len(values)))
+
+
+@settings(max_examples=50)
+@given(
+    counts=st.lists(st.integers(1, 100), min_size=2, max_size=5),
+    seed=st.integers(0, 10_000),
+)
+def test_merge_is_order_independent(counts, seed):
+    """combine_worker_samples gives the same totals in any worker order."""
+    rng = random.Random(seed)
+    parts = []
+    for i, c in enumerate(counts):
+        y = rng.randint(1, c)
+        ws = WeightedSample()
+        ws.add(_stratum("s", [float(rng.randint(0, 9)) for _ in range(y)], c))
+        parts.append(ws)
+    forward = combine_worker_samples(parts)
+    backward = combine_worker_samples(list(reversed(parts)))
+    assert forward["s"].count == backward["s"].count
+    assert forward["s"].sample_size == backward["s"].sample_size
+    assert forward["s"].weight == pytest.approx(backward["s"].weight)
+    assert approximate_sum(forward).value == pytest.approx(
+        approximate_sum(backward).value
+    )
+
+
+@settings(max_examples=50)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    count_extra=st.integers(0, 1000),
+)
+def test_sum_estimate_scales_linearly_with_weight(values, count_extra):
+    """SUM(sample) == weight × Σ values — the linear-query identity."""
+    count = len(values) + count_extra
+    ws = WeightedSample()
+    ws.add(_stratum("s", values, count))
+    expected = stratum_weight(count, len(values)) * sum(values)
+    assert approximate_sum(ws).value == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+# ---------------------------------------------------------------- estimators
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.dictionaries(
+        st.sampled_from(["a", "b", "c"]), st.integers(1, 200), min_size=1, max_size=3
+    ),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_estimates_exact_when_capacity_covers_stream(sizes, seed):
+    """If every reservoir is large enough, OASRS degenerates to identity."""
+    rng = random.Random(seed)
+    items = [(k, rng.uniform(-100, 100)) for k, n in sizes.items() for _ in range(n)]
+    capacity = max(sizes.values())
+    sample = oasrs_sample(items, capacity, key_fn=KEY, rng=random.Random(seed))
+    truth_sum = sum(v for _k, v in items)
+    truth_mean = truth_sum / len(items)
+    assert approximate_sum(sample, VAL).value == pytest.approx(truth_sum, rel=1e-9, abs=1e-6)
+    assert approximate_mean(sample, VAL).value == pytest.approx(truth_mean, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(10, 2000),
+    k=st.integers(1, 200),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_srs_sample_is_exact_size_without_replacement(n, k, seed):
+    result = ScaSRSSampler(rng=random.Random(seed)).sample(list(range(n)), k)
+    assert len(result.items) == min(n, k)
+    assert len(set(result.items)) == len(result.items)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), capacity=st.integers(1, 500))
+def test_mean_estimate_within_value_hull(seed, capacity):
+    """A weighted mean can never leave [min, max] of the stream's values."""
+    rng = random.Random(seed)
+    items = [("s", rng.uniform(0, 1000)) for _ in range(300)]
+    sample = oasrs_sample(items, capacity, key_fn=KEY, rng=random.Random(seed + 1))
+    estimate = approximate_mean(sample, VAL).value
+    values = [v for _k, v in items]
+    assert min(values) - 1e-9 <= estimate <= max(values) + 1e-9

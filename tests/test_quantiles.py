@@ -1,0 +1,141 @@
+"""Tests for weighted quantiles and heavy hitters over OASRS samples."""
+
+import random
+
+import pytest
+
+from repro.core.oasrs import oasrs_sample
+from repro.core.quantiles import (
+    approximate_median,
+    approximate_quantile,
+    heavy_hitters,
+)
+from repro.core.strata import StratumSample, WeightedSample
+
+KEY = lambda it: it[0]  # noqa: E731
+VAL = lambda it: it[1]  # noqa: E731
+
+
+def full_sample(values, key="s"):
+    ws = WeightedSample()
+    ws.add(StratumSample(key, tuple(values), len(values), 1.0))
+    return ws
+
+
+class TestQuantileValidation:
+    def test_q_bounds(self):
+        ws = full_sample([1.0, 2.0])
+        with pytest.raises(ValueError):
+            approximate_quantile(ws, 0.0)
+        with pytest.raises(ValueError):
+            approximate_quantile(ws, 1.0)
+
+    def test_confidence_bounds(self):
+        ws = full_sample([1.0])
+        with pytest.raises(ValueError):
+            approximate_quantile(ws, 0.5, confidence=1.0)
+
+    def test_empty_sample(self):
+        with pytest.raises(ValueError):
+            approximate_quantile(WeightedSample(), 0.5)
+
+
+class TestQuantileEstimates:
+    def test_exact_on_fully_kept_sample(self):
+        ws = full_sample([float(v) for v in range(1, 101)])
+        est = approximate_median(ws)
+        assert est.value == pytest.approx(50.0, abs=1.0)
+        assert est.lower <= est.value <= est.upper
+
+    def test_quantile_monotone_in_q(self):
+        ws = full_sample([float(v) for v in range(1000)])
+        q25 = approximate_quantile(ws, 0.25).value
+        q75 = approximate_quantile(ws, 0.75).value
+        assert q25 < q75
+
+    def test_weighted_median_respects_weights(self):
+        """One heavy item outweighs many light ones."""
+        ws = WeightedSample()
+        ws.add(StratumSample("light", tuple([1.0] * 10), 10, 1.0))
+        ws.add(StratumSample("heavy", (100.0,), 50, 50.0))
+        est = approximate_median(ws)
+        assert est.value == 100.0  # 50 of 60 weighted points are 100
+
+    def test_interval_covers_truth_on_sampled_stream(self):
+        rng = random.Random(0)
+        values = sorted(rng.gauss(0, 1) for _ in range(20_000))
+        true_median = values[10_000]
+        covered = 0
+        for seed in range(25):
+            items = [("s", v) for v in values]
+            sample = oasrs_sample(items, 800, key_fn=KEY, rng=random.Random(seed))
+            est = approximate_median(sample, VAL, confidence=0.95)
+            covered += est.lower <= true_median <= est.upper
+        assert covered >= 22  # DKW is conservative; expect ≥ 95% coverage
+
+    def test_interval_tightens_with_sample_size(self):
+        rng = random.Random(1)
+        items = [("s", rng.uniform(0, 100)) for _ in range(50_000)]
+        small = approximate_median(
+            oasrs_sample(items, 100, key_fn=KEY, rng=random.Random(2)), VAL
+        )
+        large = approximate_median(
+            oasrs_sample(items, 5000, key_fn=KEY, rng=random.Random(3)), VAL
+        )
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_effective_n_discounts_unequal_weights(self):
+        equal = full_sample([1.0] * 100)
+        skewed = WeightedSample()
+        skewed.add(StratumSample("a", tuple([1.0] * 50), 50, 1.0))
+        skewed.add(StratumSample("b", tuple([2.0] * 50), 5000, 100.0))
+        est_equal = approximate_median(equal)
+        est_skewed = approximate_median(skewed)
+        assert est_skewed.effective_n < est_equal.effective_n
+
+
+class TestHeavyHitters:
+    def _sample_with_counts(self, counts, capacity=400, seed=4):
+        items = []
+        for key, n in counts.items():
+            items.extend(("s", key) for _ in range(n))
+        random.Random(seed).shuffle(items)
+        return oasrs_sample(items, capacity, key_fn=KEY, rng=random.Random(seed + 1))
+
+    def test_threshold_validation(self):
+        ws = full_sample(["a"])
+        with pytest.raises(ValueError):
+            heavy_hitters(ws, key_fn=lambda x: x, threshold=0.0)
+
+    def test_empty_sample(self):
+        assert heavy_hitters(WeightedSample(), key_fn=lambda x: x) == []
+
+    def test_finds_frequent_keys(self):
+        counts = {"hot": 6000, "warm": 3000, "cold1": 500, "cold2": 500}
+        sample = self._sample_with_counts(counts)
+        hitters = heavy_hitters(sample, key_fn=lambda it: it[1], threshold=0.2)
+        names = [h.key for h in hitters]
+        assert names[0] == "hot"
+        assert "warm" in names
+        assert "cold1" not in names and "cold2" not in names
+
+    def test_counts_near_truth(self):
+        counts = {"hot": 6000, "warm": 3000, "cold": 1000}
+        sample = self._sample_with_counts(counts)
+        for hitter in heavy_hitters(sample, key_fn=lambda it: it[1], threshold=0.05):
+            assert abs(hitter.estimated_count - counts[hitter.key]) < 0.25 * counts[hitter.key]
+
+    def test_sorted_descending(self):
+        counts = {"a": 5000, "b": 3000, "c": 2000}
+        sample = self._sample_with_counts(counts)
+        hitters = heavy_hitters(sample, key_fn=lambda it: it[1], threshold=0.05)
+        estimates = [h.estimated_count for h in hitters]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_share_and_interval(self):
+        counts = {"a": 9000, "b": 1000}
+        sample = self._sample_with_counts(counts)
+        top = heavy_hitters(sample, key_fn=lambda it: it[1], threshold=0.5)[0]
+        assert top.share == pytest.approx(0.9, abs=0.1)
+        lo, hi = top.interval
+        assert lo <= top.estimated_count <= hi

@@ -1,0 +1,146 @@
+"""Tests for the MiniRDD batched substrate."""
+
+import random
+
+import pytest
+
+from repro.engine.batched.rdd import MiniRDD
+from repro.engine.cluster import SimulatedCluster
+
+
+@pytest.fixture
+def cluster():
+    return SimulatedCluster(nodes=2, cores_per_node=4)
+
+
+def rdd_of(cluster, data, parts=None):
+    return MiniRDD.parallelize(cluster, data, num_partitions=parts)
+
+
+class TestTransformations:
+    def test_map(self, cluster):
+        assert sorted(rdd_of(cluster, [1, 2, 3]).map(lambda x: x * 2).collect()) == [2, 4, 6]
+
+    def test_filter(self, cluster):
+        out = rdd_of(cluster, range(10)).filter(lambda x: x % 2 == 0).collect()
+        assert sorted(out) == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, cluster):
+        out = rdd_of(cluster, [1, 2]).flat_map(lambda x: [x] * x).collect()
+        assert sorted(out) == [1, 2, 2]
+
+    def test_map_partitions(self, cluster):
+        out = rdd_of(cluster, range(8), parts=4).map_partitions(lambda p: [sum(p)]).collect()
+        assert sum(out) == 28
+        assert len(out) == 4
+
+    def test_union(self, cluster):
+        a = rdd_of(cluster, [1, 2])
+        b = rdd_of(cluster, [3])
+        u = a.union(b)
+        assert sorted(u.collect()) == [1, 2, 3]
+        assert u.num_partitions == a.num_partitions + b.num_partitions
+
+    def test_chaining_is_lazy(self, cluster):
+        """Transformations alone launch no job."""
+        rdd_of(cluster, range(100)).map(lambda x: x + 1).filter(lambda x: x > 5)
+        assert cluster.stats.jobs_launched == 0
+
+    def test_group_by_key(self, cluster):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        out = dict(rdd_of(cluster, pairs).group_by_key().collect())
+        assert sorted(out["a"]) == [1, 3]
+        assert out["b"] == [2]
+
+    def test_reduce_by_key(self, cluster):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4)]
+        out = dict(rdd_of(cluster, pairs).reduce_by_key(lambda x, y: x + y).collect())
+        assert out == {"a": 4, "b": 6}
+
+    def test_sort_by(self, cluster):
+        out = rdd_of(cluster, [3, 1, 2]).sort_by(lambda x: x).collect()
+        # Partitioned round-robin after sort; flatten preserves global sort
+        # only per partition, so compare as multiset plus per-partition order.
+        assert sorted(out) == [1, 2, 3]
+
+
+class TestActions:
+    def test_count(self, cluster):
+        assert rdd_of(cluster, range(17)).count() == 17
+
+    def test_reduce(self, cluster):
+        assert rdd_of(cluster, [1, 2, 3, 4]).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self, cluster):
+        with pytest.raises(ValueError):
+            rdd_of(cluster, []).reduce(lambda a, b: a + b)
+
+    def test_take(self, cluster):
+        out = rdd_of(cluster, range(100)).take(5)
+        assert len(out) == 5
+
+    def test_action_launches_job_and_tasks(self, cluster):
+        rdd = rdd_of(cluster, range(10), parts=4)
+        rdd.collect()
+        assert cluster.stats.jobs_launched == 1
+        assert cluster.stats.tasks_launched == 4
+
+    def test_process_all_charges_items(self, cluster):
+        rdd = rdd_of(cluster, range(50))
+        n = rdd.process_all()
+        assert n == 50
+        assert cluster.stats.items_processed == 50
+
+
+class TestSamplingOperators:
+    def test_sample_fraction(self, cluster):
+        rdd = rdd_of(cluster, list(range(10_000)))
+        out = rdd.sample(0.1, rng=random.Random(0)).collect()
+        assert abs(len(out) - 1000) < 50
+
+    def test_sample_charges_sort_and_keys(self, cluster):
+        rdd = rdd_of(cluster, list(range(10_000)))
+        rdd.sample(0.2, rng=random.Random(1)).collect()
+        assert cluster.stats.items_sampled == 10_000
+        assert cluster.stats.sort_comparisons > 0
+
+    def test_sample_by_key_exact_sizes(self, cluster):
+        pairs = [("a", i) for i in range(100)] + [("b", i) for i in range(50)]
+        out = rdd_of(cluster, pairs).sample_by_key(0.2, rng=random.Random(2)).collect()
+        counts = {}
+        for key, _v in out:
+            counts[key] = counts.get(key, 0) + 1
+        assert counts == {"a": 20, "b": 10}
+
+    def test_sample_by_key_charges_shuffle_and_barriers(self, cluster):
+        pairs = [("a", i) for i in range(1000)] + [("b", i) for i in range(1000)]
+        rdd_of(cluster, pairs).sample_by_key(0.5, rng=random.Random(3)).collect()
+        assert cluster.stats.items_shuffled == 2000
+        assert cluster.stats.barriers >= 3  # groupBy + per-stratum collects
+
+
+class TestCostStructure:
+    """The asymmetries the paper's evaluation rests on."""
+
+    def test_groupbykey_costs_more_than_reducebykey(self):
+        pairs = [("k%d" % (i % 5), i) for i in range(5000)]
+        c1 = SimulatedCluster()
+        MiniRDD.parallelize(c1, pairs).group_by_key().collect()
+        c2 = SimulatedCluster()
+        MiniRDD.parallelize(c2, pairs).reduce_by_key(lambda a, b: a + b).collect()
+        assert c1.stats.items_shuffled > c2.stats.items_shuffled
+
+    def test_sts_costs_more_than_srs(self):
+        pairs = [("k%d" % (i % 3), float(i)) for i in range(20_000)]
+        c_srs = SimulatedCluster()
+        MiniRDD.parallelize(c_srs, pairs).sample(0.4, rng=random.Random(4)).collect()
+        c_sts = SimulatedCluster()
+        MiniRDD.parallelize(c_sts, pairs).sample_by_key(0.4, rng=random.Random(4)).collect()
+        assert c_sts.elapsed() > c_srs.elapsed()
+
+    def test_formation_cost_scales_with_items(self):
+        c_small = SimulatedCluster()
+        MiniRDD.parallelize(c_small, range(100))
+        c_big = SimulatedCluster()
+        MiniRDD.parallelize(c_big, range(100_000))
+        assert c_big.elapsed() > c_small.elapsed()

@@ -1,0 +1,140 @@
+"""Tests for fault-tolerant distributed OASRS (worker failure injection)."""
+
+import random
+
+import pytest
+
+from repro.core.oasrs import FixedPerStratum
+from repro.core.query import approximate_mean
+from repro.core.recovery import ResilientDistributedOASRS
+
+KEY = lambda it: it[0]  # noqa: E731
+VAL = lambda it: it[1]  # noqa: E731
+
+
+def make_items(n, seed=0, mu=100.0, sigma=10.0, key="A"):
+    rng = random.Random(seed)
+    return [(key, rng.gauss(mu, sigma)) for _ in range(n)]
+
+
+def make_sampler(workers=4, capacity=50, checkpoint_every=None, seed=1):
+    return ResilientDistributedOASRS(
+        workers=workers,
+        policy_factory=lambda: FixedPerStratum(capacity),
+        key_fn=KEY,
+        rng=random.Random(seed),
+        checkpoint_every=checkpoint_every,
+    )
+
+
+class TestValidation:
+    def test_worker_count(self):
+        with pytest.raises(ValueError):
+            make_sampler(workers=0)
+
+    def test_checkpoint_interval(self):
+        with pytest.raises(ValueError):
+            make_sampler(checkpoint_every=0)
+
+
+class TestHealthyOperation:
+    def test_no_failures_behaves_like_distributed(self):
+        sampler = make_sampler()
+        items = make_items(2000)
+        sampler.offer_many(items)
+        merged = sampler.close_interval()
+        assert merged["A"].count == 2000
+        est = approximate_mean(merged, VAL).value
+        assert abs(est - 100.0) < 3.0
+        assert sampler.coverage(2000) == 1.0
+
+    def test_round_robin_over_alive(self):
+        sampler = make_sampler(workers=3)
+        assigned = [sampler.offer(("A", 1.0)) for _ in range(6)]
+        assert assigned == [0, 1, 2, 0, 1, 2]
+
+
+class TestFailures:
+    def test_single_failure_drops_only_that_workers_items(self):
+        sampler = make_sampler(workers=4)
+        sampler.offer_many(make_items(1000))
+        sampler.fail_worker(0)
+        merged = sampler.close_interval()
+        # Worker 0 held 250 items; the rest survive with exact counters.
+        assert merged["A"].count == 750
+        assert sampler.failures_seen == 1
+
+    def test_estimate_unbiased_over_survivors(self):
+        sampler = make_sampler(workers=4, capacity=100)
+        sampler.offer_many(make_items(4000, seed=2))
+        sampler.fail_worker(2)
+        merged = sampler.close_interval()
+        est = approximate_mean(merged, VAL).value
+        assert abs(est - 100.0) < 3.0  # unbiased, just fewer items
+
+    def test_rerouting_after_failure(self):
+        sampler = make_sampler(workers=3)
+        sampler.fail_worker(1)
+        # Worker 1 restarts immediately (recover) — still routable; crash
+        # without restart is modelled by failing again just before close.
+        assigned = {sampler.offer(("A", 1.0)) for _ in range(9)}
+        assert assigned <= {0, 1, 2}
+
+    def test_all_workers_failed(self):
+        sampler = make_sampler(workers=1)
+
+        class DeadWorkerSampler(ResilientDistributedOASRS):
+            pass
+
+        sampler.workers[0].alive = False
+        with pytest.raises(RuntimeError):
+            sampler.offer(("A", 1.0))
+
+    def test_double_failure_idempotent(self):
+        sampler = make_sampler(workers=2)
+        sampler.offer_many(make_items(100))
+        sampler.fail_worker(0)
+        lost = sampler.items_lost
+        # Worker restarted by recover(); failing the restarted worker with
+        # no new items loses nothing more.
+        sampler.fail_worker(0)
+        assert sampler.items_lost == lost
+
+    def test_coverage_metric(self):
+        sampler = make_sampler(workers=4)
+        sampler.offer_many(make_items(1000))
+        sampler.fail_worker(3)
+        assert sampler.coverage(1000) == pytest.approx(0.75)
+        assert sampler.coverage(0) == 1.0
+
+
+class TestCheckpointing:
+    def test_checkpoint_bounds_loss(self):
+        sampler = make_sampler(workers=2, checkpoint_every=100)
+        sampler.offer_many(make_items(1000))  # 500 per worker, checkpoints every 100
+        sampler.fail_worker(0)
+        # At most 100 items (the checkpoint window) can be lost.
+        assert sampler.items_lost <= 100
+
+    def test_salvaged_checkpoint_counts_in_interval(self):
+        sampler = make_sampler(workers=2, checkpoint_every=50)
+        sampler.offer_many(make_items(400))  # 200 each; both checkpointed at 200
+        sampler.fail_worker(0)
+        merged = sampler.close_interval()
+        # Survivor's 200 plus worker 0's checkpointed 200 (no post-checkpoint
+        # items at exactly the boundary).
+        assert merged["A"].count == 400
+
+    def test_no_checkpoint_loses_whole_worker_interval(self):
+        sampler = make_sampler(workers=2, checkpoint_every=None)
+        sampler.offer_many(make_items(400))
+        sampler.fail_worker(0)
+        merged = sampler.close_interval()
+        assert merged["A"].count == 200
+
+    def test_interval_reset_clears_loss_accounting(self):
+        sampler = make_sampler(workers=2)
+        sampler.offer_many(make_items(100))
+        sampler.fail_worker(0)
+        sampler.close_interval()
+        assert sampler.items_lost == 0

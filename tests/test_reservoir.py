@@ -1,0 +1,125 @@
+"""Unit and property tests for classic reservoir sampling (Algorithm 1)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reservoir import Reservoir, reservoir_sample
+
+
+class TestReservoirBasics:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            Reservoir(0)
+        with pytest.raises(ValueError):
+            Reservoir(-3)
+
+    def test_fills_up_to_capacity_in_order(self):
+        r = Reservoir(5, rng=random.Random(0))
+        for x in range(5):
+            assert r.offer(x) is True
+        assert r.items == [0, 1, 2, 3, 4]
+
+    def test_short_stream_kept_entirely(self):
+        r = Reservoir(100, rng=random.Random(0))
+        r.extend(range(10))
+        assert sorted(r.items) == list(range(10))
+        assert r.seen == 10
+        assert not r.is_saturated()
+
+    def test_never_exceeds_capacity(self):
+        r = Reservoir(7, rng=random.Random(1))
+        r.extend(range(1000))
+        assert len(r) == 7
+        assert r.seen == 1000
+        assert r.is_saturated()
+
+    def test_items_returns_copy(self):
+        r = Reservoir(3, rng=random.Random(0))
+        r.extend(range(3))
+        snapshot = r.items
+        snapshot.append(99)
+        assert len(r) == 3
+
+    def test_reset_clears_state(self):
+        r = Reservoir(3, rng=random.Random(0))
+        r.extend(range(50))
+        r.reset()
+        assert len(r) == 0
+        assert r.seen == 0
+
+    def test_iteration_and_len(self):
+        r = Reservoir(4, rng=random.Random(2))
+        r.extend("abcdefg")
+        assert len(list(r)) == len(r) == 4
+
+    def test_sampled_items_come_from_stream(self):
+        r = Reservoir(10, rng=random.Random(3))
+        universe = set(range(500))
+        r.extend(universe)
+        assert set(r.items) <= universe
+
+
+class TestReservoirStatistics:
+    def test_uniform_inclusion_probability(self):
+        """Every item should appear with probability ≈ capacity / n."""
+        capacity, n, trials = 5, 50, 4000
+        counts = Counter()
+        rng = random.Random(42)
+        for _ in range(trials):
+            counts.update(reservoir_sample(range(n), capacity, rng=rng))
+        expected = trials * capacity / n
+        for x in range(n):
+            # Each count is Binomial(trials, capacity/n): sd ≈ 19; allow 5 sd.
+            assert abs(counts[x] - expected) < 5 * (expected * (1 - capacity / n)) ** 0.5
+
+    def test_deterministic_given_seed(self):
+        a = reservoir_sample(range(100), 10, rng=random.Random(7))
+        b = reservoir_sample(range(100), 10, rng=random.Random(7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = reservoir_sample(range(1000), 10, rng=random.Random(1))
+        b = reservoir_sample(range(1000), 10, rng=random.Random(2))
+        assert a != b
+
+
+@settings(max_examples=60)
+@given(
+    capacity=st.integers(min_value=1, max_value=40),
+    n=st.integers(min_value=0, max_value=400),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_size_invariant(capacity, n, seed):
+    """|sample| == min(capacity, n) for any stream length."""
+    sample = reservoir_sample(range(n), capacity, rng=random.Random(seed))
+    assert len(sample) == min(capacity, n)
+    assert set(sample) <= set(range(n))
+
+
+@settings(max_examples=40)
+@given(
+    items=st.lists(st.integers(), min_size=0, max_size=200),
+    capacity=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_sample_multiset_subset(items, capacity, seed):
+    """The sample is a sub-multiset of the stream (duplicates respected)."""
+    sample = reservoir_sample(items, capacity, rng=random.Random(seed))
+    stream_counts = Counter(items)
+    for value, count in Counter(sample).items():
+        assert count <= stream_counts[value]
+
+
+@settings(max_examples=40)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_seen_counter_tracks_stream(n, seed):
+    r = Reservoir(5, rng=random.Random(seed))
+    r.extend(range(n))
+    assert r.seen == n

@@ -1,0 +1,109 @@
+"""Tests for the Spark-style simple random sampling baseline (ScaSRS)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.srs import ScaSRSSampler, simple_random_sample
+
+
+class TestBasics:
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ScaSRSSampler(rng=random.Random(0)).sample([1, 2, 3], -1)
+
+    def test_empty_batch(self):
+        result = ScaSRSSampler(rng=random.Random(0)).sample([], 5)
+        assert result.items == []
+        assert result.population == 0
+
+    def test_k_zero(self):
+        result = ScaSRSSampler(rng=random.Random(0)).sample([1, 2, 3], 0)
+        assert result.items == []
+
+    def test_k_at_least_n_returns_all(self):
+        batch = list(range(10))
+        result = ScaSRSSampler(rng=random.Random(0)).sample(batch, 10)
+        assert result.items == batch
+        result = ScaSRSSampler(rng=random.Random(0)).sample(batch, 50)
+        assert result.items == batch
+
+    def test_exact_sample_size(self):
+        rng = random.Random(1)
+        for k in (1, 10, 100, 500):
+            result = ScaSRSSampler(rng=rng).sample(list(range(1000)), k)
+            assert len(result.items) == k
+
+    def test_sample_is_subset(self):
+        batch = list(range(2000))
+        result = ScaSRSSampler(rng=random.Random(2)).sample(batch, 100)
+        assert set(result.items) <= set(batch)
+        assert len(set(result.items)) == 100  # without replacement
+
+    def test_fraction_api(self):
+        result = ScaSRSSampler(rng=random.Random(3)).sample_fraction(list(range(1000)), 0.25)
+        assert len(result.items) == 250
+        with pytest.raises(ValueError):
+            ScaSRSSampler().sample_fraction([1], 1.5)
+
+
+class TestPruningProfile:
+    def test_partition_accounting(self):
+        batch = list(range(10_000))
+        result = ScaSRSSampler(rng=random.Random(4)).sample(batch, 1000)
+        assert result.accepted_directly + result.waitlisted + result.discarded <= len(batch) + 1000
+        assert result.population == 10_000
+        # Pruning must be effective: waitlist far smaller than the batch.
+        assert result.waitlisted < len(batch) * 0.2
+
+    def test_sort_work_reflects_waitlist(self):
+        batch = list(range(50_000))
+        result = ScaSRSSampler(rng=random.Random(5)).sample(batch, 5000)
+        assert result.sort_work > 0
+        assert result.sort_work < len(batch) * 17  # far less than full-sort n log n
+
+    def test_weight(self):
+        result = ScaSRSSampler(rng=random.Random(6)).sample(list(range(100)), 20)
+        assert result.weight == pytest.approx(5.0)
+        empty = ScaSRSSampler(rng=random.Random(6)).sample([], 0)
+        assert empty.weight == 1.0
+
+
+class TestStatistics:
+    def test_uniformity(self):
+        """Inclusion frequency ≈ k/n for all items over many trials."""
+        n, k, trials = 40, 8, 3000
+        counts = Counter()
+        rng = random.Random(77)
+        for _ in range(trials):
+            counts.update(simple_random_sample(list(range(n)), k, rng=rng))
+        expected = trials * k / n
+        sd = (expected * (1 - k / n)) ** 0.5
+        for x in range(n):
+            assert abs(counts[x] - expected) < 5 * sd
+
+    def test_rare_stratum_often_missed(self):
+        """The weakness OASRS fixes: SRS can miss tiny sub-streams."""
+        batch = [("big", i) for i in range(10_000)] + [("rare", 0)]
+        rng = random.Random(8)
+        missed = 0
+        trials = 200
+        for _ in range(trials):
+            sample = simple_random_sample(batch, 100, rng=rng)
+            if not any(k == "rare" for k, _v in sample):
+                missed += 1
+        # P(miss) ≈ (1 - 1/10001)^... ≈ 0.99 per draw of 100 → mostly missed.
+        assert missed > trials * 0.8
+
+    @settings(max_examples=50)
+    @given(
+        n=st.integers(0, 500),
+        k=st.integers(0, 500),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_size_property(self, n, k, seed):
+        result = ScaSRSSampler(rng=random.Random(seed)).sample(list(range(n)), k)
+        assert len(result.items) == min(n, k)

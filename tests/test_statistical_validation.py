@@ -1,0 +1,164 @@
+"""End-to-end statistical validation of the §3.3 error-estimation claims.
+
+These tests treat the whole stack as a statistical instrument and check it
+against sampling theory: estimator unbiasedness, CI coverage at the
+68/95/99.7 levels, variance shrinkage laws, and the coverage of the
+systems' per-pane bounds on live streams.  They are slower than unit tests
+(hundreds of repeated sampling runs) but deterministic.
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core.error import estimate_error
+from repro.core.oasrs import oasrs_sample
+from repro.core.query import approximate_mean, approximate_sum
+from repro.metrics.accuracy import coverage_rate
+from repro.system import (
+    FlinkStreamApproxSystem,
+    SparkStreamApproxSystem,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+)
+from repro.workloads.synthetic import stream_by_rates
+
+KEY = lambda it: it[0]  # noqa: E731
+VAL = lambda it: it[1]  # noqa: E731
+
+
+def population(seed=0, sizes=((("a"), 3000, 50, 10), (("b"), 600, 500, 60))):
+    rng = random.Random(seed)
+    items = []
+    for key, n, mu, sigma in sizes:
+        items.extend((key, rng.gauss(mu, sigma)) for _ in range(n))
+    rng.shuffle(items)
+    return items
+
+
+class TestUnbiasedness:
+    def test_sum_estimator_unbiased(self):
+        items = population(seed=1)
+        truth = sum(VAL(it) for it in items)
+        estimates = [
+            approximate_sum(
+                oasrs_sample(items, 150, key_fn=KEY, rng=random.Random(s)), VAL
+            ).value
+            for s in range(400)
+        ]
+        mean_est = statistics.fmean(estimates)
+        # Standard error of the mean of 400 estimates is small; 1% margin
+        # comfortably detects real bias while tolerating noise.
+        assert abs(mean_est - truth) / truth < 0.01
+
+    def test_mean_estimator_unbiased(self):
+        items = population(seed=2)
+        truth = statistics.fmean(VAL(it) for it in items)
+        estimates = [
+            approximate_mean(
+                oasrs_sample(items, 150, key_fn=KEY, rng=random.Random(s)), VAL
+            ).value
+            for s in range(400)
+        ]
+        assert abs(statistics.fmean(estimates) - truth) / truth < 0.01
+
+
+class TestVarianceLaws:
+    def test_variance_estimate_tracks_empirical_variance(self):
+        """The Eq.-6 estimate should match the spread of repeated estimates."""
+        items = population(seed=3)
+        estimates, predicted = [], []
+        for s in range(300):
+            sample = oasrs_sample(items, 120, key_fn=KEY, rng=random.Random(s))
+            result = approximate_sum(sample, VAL)
+            estimates.append(result.value)
+            predicted.append(estimate_error(result).variance)
+        empirical = statistics.pvariance(estimates)
+        mean_predicted = statistics.fmean(predicted)
+        assert 0.5 < mean_predicted / empirical < 2.0
+
+    def test_variance_shrinks_as_one_over_y(self):
+        """Doubling the sample size ≈ halves the variance (C ≫ Y regime)."""
+        items = population(seed=4, sizes=[("a", 20_000, 100, 20)])
+        def var_at(y):
+            sample = oasrs_sample(items, y, key_fn=KEY, rng=random.Random(1))
+            return estimate_error(approximate_sum(sample, VAL)).variance
+
+        ratio = var_at(100) / var_at(200)
+        assert 1.6 < ratio < 2.6
+
+
+class TestCoverageLevels:
+    @pytest.mark.parametrize(
+        "confidence,z,minimum",
+        [(0.68, 1.0, 0.55), (0.95, 2.0, 0.88), (0.997, 3.0, 0.97)],
+    )
+    def test_cis_cover_at_nominal_rates(self, confidence, z, minimum):
+        """The 68-95-99.7 rule holds end to end for the SUM estimator."""
+        items = population(seed=5)
+        truth = sum(VAL(it) for it in items)
+        covered = 0
+        trials = 250
+        for s in range(trials):
+            sample = oasrs_sample(items, 150, key_fn=KEY, rng=random.Random(s))
+            bound = estimate_error(approximate_sum(sample, VAL), confidence=confidence)
+            covered += bound.covers(truth)
+        assert covered / trials >= minimum
+
+    def test_coverage_ordering_across_levels(self):
+        items = population(seed=6)
+        truth = sum(VAL(it) for it in items)
+        rates = {}
+        for confidence in (0.68, 0.95, 0.997):
+            covered = 0
+            for s in range(150):
+                sample = oasrs_sample(items, 100, key_fn=KEY, rng=random.Random(s))
+                bound = estimate_error(
+                    approximate_sum(sample, VAL), confidence=confidence
+                )
+                covered += bound.covers(truth)
+            rates[confidence] = covered / 150
+        assert rates[0.68] <= rates[0.95] <= rates[0.997]
+
+
+class TestSystemLevelCoverage:
+    @pytest.mark.parametrize(
+        "cls", [SparkStreamApproxSystem, FlinkStreamApproxSystem]
+    )
+    def test_pane_bounds_cover_truth(self, cls):
+        """Across many panes, the per-pane 95% bounds cover ≈95% of truths."""
+        stream = stream_by_rates(
+            {"A": 3000, "B": 800, "C": 40}, duration=60, seed=7
+        )
+        query = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean")
+        report = cls(
+            query, WindowConfig(10.0, 5.0), SystemConfig(sampling_fraction=0.2)
+        ).run(stream)
+        assert len(report.results) >= 10
+        assert coverage_rate(report) >= 0.8
+
+    def test_margin_scales_with_z(self):
+        items = population(seed=8)
+        sample = oasrs_sample(items, 100, key_fn=KEY, rng=random.Random(0))
+        result = approximate_sum(sample, VAL)
+        m68 = estimate_error(result, confidence=0.68).margin
+        m95 = estimate_error(result, confidence=0.95).margin
+        m997 = estimate_error(result, confidence=0.997).margin
+        assert m95 == pytest.approx(2 * m68)
+        assert m997 == pytest.approx(3 * m68)
+
+    def test_relative_error_improves_with_fraction_on_live_system(self):
+        stream = stream_by_rates({"A": 4000, "B": 1000}, duration=20, seed=9)
+        query = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean")
+        margins = {}
+        for fraction in (0.05, 0.4):
+            report = SparkStreamApproxSystem(
+                query, WindowConfig(10.0, 5.0), SystemConfig(sampling_fraction=fraction)
+            ).run(stream)
+            margins[fraction] = statistics.fmean(
+                r.error.relative_margin for r in report.results if r.error
+            )
+        assert margins[0.4] < margins[0.05]

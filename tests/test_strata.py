@@ -1,0 +1,153 @@
+"""Tests for stratum bookkeeping and Equation-1 weights."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strata import (
+    StratumSample,
+    WeightedSample,
+    combine_worker_samples,
+    stratum_weight,
+)
+
+
+class TestStratumWeight:
+    def test_overflowed_stratum_scales(self):
+        assert stratum_weight(count=6, sample_size=3) == pytest.approx(2.0)
+
+    def test_underfull_stratum_weight_one(self):
+        assert stratum_weight(count=2, sample_size=3) == 1.0
+        assert stratum_weight(count=3, sample_size=3) == 1.0
+
+    def test_empty_stratum(self):
+        assert stratum_weight(0, 0) == 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            stratum_weight(-1, 3)
+        with pytest.raises(ValueError):
+            stratum_weight(3, -1)
+
+    @settings(max_examples=100)
+    @given(c=st.integers(0, 10**6), y=st.integers(1, 10**4))
+    def test_weight_reconstructs_population(self, c, y):
+        """y * W == max(c, y): kept items stand for the whole stratum."""
+        w = stratum_weight(c, y)
+        assert y * w == pytest.approx(max(c, y))
+
+
+class TestStratumSample:
+    def test_paper_figure2_weights(self):
+        """Figure 2: reservoirs of size 3, C = (6, 4, 2) → W = (2, 4/3, 1)."""
+        s1 = StratumSample("S1", tuple(range(3)), 6, stratum_weight(6, 3))
+        s2 = StratumSample("S2", tuple(range(3)), 4, stratum_weight(4, 3))
+        s3 = StratumSample("S3", tuple(range(2)), 2, stratum_weight(2, 2))
+        assert s1.weight == pytest.approx(2.0)
+        assert s2.weight == pytest.approx(4.0 / 3.0)
+        assert s3.weight == 1.0
+
+    def test_count_below_sample_rejected(self):
+        with pytest.raises(ValueError):
+            StratumSample("x", (1, 2, 3), 2, 1.0)
+
+    def test_estimated_count(self):
+        s = StratumSample("x", (1.0, 2.0), 10, 5.0)
+        assert s.estimated_count == pytest.approx(10.0)
+
+    def test_values_with_fn(self):
+        s = StratumSample("x", (("a", 2.0), ("a", 4.0)), 2, 1.0)
+        assert s.values(lambda kv: kv[1]) == [2.0, 4.0]
+
+
+class TestWeightedSample:
+    def _make(self):
+        ws = WeightedSample()
+        ws.add(StratumSample("a", (1.0, 2.0, 3.0), 6, 2.0))
+        ws.add(StratumSample("b", (10.0,), 1, 1.0))
+        return ws
+
+    def test_duplicate_stratum_rejected(self):
+        ws = self._make()
+        with pytest.raises(KeyError):
+            ws.add(StratumSample("a", (5.0,), 1, 1.0))
+
+    def test_totals(self):
+        ws = self._make()
+        assert ws.total_items == 4
+        assert ws.total_count == 7
+        assert ws.sampling_fraction == pytest.approx(4 / 7)
+
+    def test_container_protocol(self):
+        ws = self._make()
+        assert "a" in ws and "c" not in ws
+        assert len(ws) == 2
+        assert ws["b"].count == 1
+        assert sorted(ws.keys) == ["a", "b"]
+
+    def test_all_and_weighted_items(self):
+        ws = self._make()
+        assert sorted(ws.all_items()) == [1.0, 2.0, 3.0, 10.0]
+        weights = dict(ws.weighted_items())
+        assert weights[1.0] == 2.0 and weights[10.0] == 1.0
+
+    def test_scaled_total(self):
+        ws = self._make()
+        # (1+2+3)*2 + 10*1 = 22
+        assert ws.scaled_total() == pytest.approx(22.0)
+
+    def test_empty_sample_fraction_zero(self):
+        assert WeightedSample().sampling_fraction == 0.0
+
+
+class TestMerge:
+    def test_merge_disjoint_strata(self):
+        left = WeightedSample()
+        left.add(StratumSample("a", (1.0,), 1, 1.0))
+        right = WeightedSample()
+        right.add(StratumSample("b", (2.0,), 5, 5.0))
+        merged = left.merge(right)
+        assert sorted(merged.keys) == ["a", "b"]
+        assert merged["b"].weight == 5.0
+
+    def test_merge_same_stratum_rederives_weight(self):
+        """Worker merge: counts add, reservoirs concatenate, W from Eq. 1."""
+        w1 = WeightedSample()
+        w1.add(StratumSample("s", (1.0, 2.0), 10, 5.0))
+        w2 = WeightedSample()
+        w2.add(StratumSample("s", (3.0, 4.0), 14, 7.0))
+        merged = w1.merge(w2)
+        s = merged["s"]
+        assert s.count == 24
+        assert s.sample_size == 4
+        assert s.weight == pytest.approx(6.0)
+
+    def test_combine_worker_samples_empty(self):
+        assert len(combine_worker_samples([])) == 0
+
+    def test_combine_many_workers(self):
+        parts = []
+        for i in range(4):
+            ws = WeightedSample()
+            ws.add(StratumSample("s", (float(i),), 3, 3.0))
+            parts.append(ws)
+        merged = combine_worker_samples(parts)
+        assert merged["s"].count == 12
+        assert merged["s"].sample_size == 4
+        assert merged["s"].weight == pytest.approx(3.0)
+
+    @settings(max_examples=50)
+    @given(
+        counts=st.lists(st.integers(1, 50), min_size=1, max_size=6),
+        kept=st.data(),
+    )
+    def test_merge_preserves_population(self, counts, kept):
+        """Σ estimated populations is invariant under worker merge."""
+        parts = []
+        for i, c in enumerate(counts):
+            y = kept.draw(st.integers(1, c))
+            ws = WeightedSample()
+            ws.add(StratumSample("s", tuple(float(j) for j in range(y)), c, stratum_weight(c, y)))
+            parts.append(ws)
+        merged = combine_worker_samples(parts)
+        assert merged["s"].count == sum(counts)

@@ -1,0 +1,130 @@
+"""Tests for the §7 online stratifiers (bootstrap and semi-supervised)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.oasrs import OASRSSampler, WaterFillingAllocation
+from repro.core.query import approximate_mean
+from repro.core.stratify import GaussianMixtureStratifier, QuantileStratifier
+
+
+class TestQuantileStratifier:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileStratifier(0)
+        with pytest.raises(ValueError):
+            QuantileStratifier(10, sketch_size=5)
+        with pytest.raises(ValueError):
+            QuantileStratifier(2, refresh_every=0)
+
+    def test_single_stratum_before_refresh(self):
+        s = QuantileStratifier(4, refresh_every=1000, rng=random.Random(0))
+        assert s.assign(5.0) == 0
+        assert s.assign(-3.0) == 0
+        assert s.boundaries == []
+
+    def test_boundaries_converge_to_quantiles(self):
+        rng = random.Random(1)
+        s = QuantileStratifier(4, sketch_size=1024, refresh_every=128, rng=random.Random(2))
+        for _ in range(5000):
+            s.assign(rng.uniform(0, 100))
+        cuts = s.boundaries
+        assert len(cuts) == 3
+        # Uniform(0,100) quartiles are 25/50/75; allow generous sketch noise.
+        for cut, expected in zip(cuts, (25.0, 50.0, 75.0)):
+            assert abs(cut - expected) < 10.0
+
+    def test_buckets_roughly_balanced(self):
+        rng = random.Random(3)
+        s = QuantileStratifier(4, rng=random.Random(4))
+        for _ in range(2000):
+            s.assign(rng.gauss(0, 1))
+        counts = [0, 0, 0, 0]
+        for _ in range(4000):
+            counts[s.assign(rng.gauss(0, 1))] += 1
+        for count in counts:
+            assert 500 < count < 1700  # ≈1000 each, sketch noise allowed
+
+    def test_heavy_ties_collapse_buckets_safely(self):
+        s = QuantileStratifier(4, refresh_every=64, rng=random.Random(5))
+        for _ in range(500):
+            key = s.assign(7.0)  # constant stream
+            assert 0 <= key <= 3
+
+    def test_assignment_monotone_in_value(self):
+        rng = random.Random(6)
+        s = QuantileStratifier(3, rng=random.Random(7))
+        for _ in range(2000):
+            s.assign(rng.uniform(0, 10))
+        low = s.assign(0.5)
+        high = s.assign(9.5)
+        assert low <= high
+
+
+class TestGaussianMixtureStratifier:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureStratifier(0)
+        with pytest.raises(ValueError):
+            GaussianMixtureStratifier(2, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GaussianMixtureStratifier(2, seeds=[[1.0]])
+        with pytest.raises(ValueError):
+            GaussianMixtureStratifier(2, seeds=[[1.0], []])
+
+    def test_seeded_centres(self):
+        s = GaussianMixtureStratifier(2, seeds=[[10.0, 12.0], [100.0]])
+        assert s.centres == [11.0, 100.0]
+
+    def test_separates_two_modes(self):
+        rng = random.Random(8)
+        s = GaussianMixtureStratifier(2, seeds=[[10.0], [1000.0]])
+        labels = {0: [], 1: []}
+        for _ in range(2000):
+            if rng.random() < 0.5:
+                v = rng.gauss(10, 3)
+            else:
+                v = rng.gauss(1000, 30)
+            labels[s.assign(v)].append(v)
+        means = sorted(statistics.fmean(vs) for vs in labels.values() if vs)
+        assert abs(means[0] - 10) < 5
+        assert abs(means[1] - 1000) < 50
+
+    def test_unseeded_bootstrap(self):
+        s = GaussianMixtureStratifier(2)
+        a = s.assign(1.0)
+        b = s.assign(100.0)
+        assert {a, b} <= {0, 1}
+        assert len(s.centres) == 2
+
+    def test_centres_track_drift(self):
+        s = GaussianMixtureStratifier(1, seeds=[[0.0]], learning_rate=0.2)
+        for _ in range(200):
+            s.assign(50.0)
+        assert abs(s.centres[0] - 50.0) < 1.0
+
+
+class TestEndToEndWithOASRS:
+    def test_unlabeled_stream_stratified_then_sampled(self):
+        """§7 composition: stratifier as OASRS's key_fn on a raw stream."""
+        rng = random.Random(9)
+        # Two hidden sources mixed into one unlabeled value stream.
+        values = []
+        for _ in range(20_000):
+            values.append(rng.gauss(10, 2) if rng.random() < 0.95 else rng.gauss(5000, 100))
+        truth = statistics.fmean(values)
+
+        stratifier = GaussianMixtureStratifier(2, seeds=[[10.0], [5000.0]])
+        sampler = OASRSSampler(
+            WaterFillingAllocation(800, expected_strata=2),
+            key_fn=stratifier.assign,
+            rng=random.Random(10),
+        )
+        sampler.offer_many(values)
+        sample = sampler.close_interval()
+        estimate = approximate_mean(sample).value
+        assert abs(estimate - truth) / truth < 0.02
+        # Both hidden strata got their own reservoir.
+        assert len(sample) == 2

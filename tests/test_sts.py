@@ -1,0 +1,135 @@
+"""Tests for the Spark-style stratified sampling baseline (sampleByKey)."""
+
+import random
+
+import pytest
+
+from repro.sampling.sts import StratifiedSampler
+
+KEY = lambda item: item[0]  # noqa: E731
+
+
+def make_batch(spec):
+    batch = []
+    for key, n in spec.items():
+        batch.extend((key, float(i)) for i in range(n))
+    return batch
+
+
+class TestValidation:
+    def test_workers_positive(self):
+        with pytest.raises(ValueError):
+            StratifiedSampler(workers=0)
+
+    def test_fraction_bounds(self):
+        sampler = StratifiedSampler(rng=random.Random(0))
+        with pytest.raises(ValueError):
+            sampler.sample_by_key(make_batch({"a": 10}), KEY, 1.5)
+
+
+class TestExactVariant:
+    def test_exact_per_stratum_sizes(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(1))
+        result = sampler.sample_by_key(make_batch({"a": 100, "b": 50}), KEY, 0.2)
+        kept_a, pop_a = result.per_stratum["a"]
+        kept_b, pop_b = result.per_stratum["b"]
+        assert (len(kept_a), pop_a) == (20, 100)
+        assert (len(kept_b), pop_b) == (10, 50)
+
+    def test_ceil_semantics(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(2))
+        result = sampler.sample_by_key(make_batch({"a": 3}), KEY, 0.5)
+        assert len(result.per_stratum["a"][0]) == 2  # ceil(1.5)
+
+    def test_every_stratum_represented(self):
+        """STS, like OASRS, never overlooks a stratum (its accuracy edge)."""
+        sampler = StratifiedSampler(exact=True, rng=random.Random(3))
+        result = sampler.sample_by_key(
+            make_batch({"big": 10_000, "rare": 2}), KEY, 0.01
+        )
+        assert len(result.per_stratum["rare"][0]) >= 1
+
+    def test_per_key_fraction_map(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(4))
+        result = sampler.sample_by_key(
+            make_batch({"a": 100, "b": 100}), KEY, {"a": 0.5, "b": 0.1}
+        )
+        assert len(result.per_stratum["a"][0]) == 50
+        assert len(result.per_stratum["b"][0]) == 10
+
+    def test_missing_key_in_map_gets_zero(self):
+        """Spark requires fractions for known strata; unknown ones get none —
+        the pre-defined-fraction limitation of §1."""
+        sampler = StratifiedSampler(exact=True, rng=random.Random(5))
+        result = sampler.sample_by_key(
+            make_batch({"a": 10, "new": 10}), KEY, {"a": 0.5}
+        )
+        assert len(result.per_stratum["new"][0]) == 0
+
+
+class TestApproxVariant:
+    def test_approximate_sizes_near_target(self):
+        sampler = StratifiedSampler(exact=False, rng=random.Random(6))
+        result = sampler.sample_by_key(make_batch({"a": 10_000}), KEY, 0.3)
+        kept, _pop = result.per_stratum["a"]
+        assert abs(len(kept) - 3000) < 300  # Bernoulli noise
+
+    def test_cheaper_profile_than_exact(self):
+        batch = make_batch({"a": 1000, "b": 1000})
+        exact = StratifiedSampler(exact=True, rng=random.Random(7)).sample_by_key(batch, KEY, 0.5)
+        approx = StratifiedSampler(exact=False, rng=random.Random(7)).sample_by_key(batch, KEY, 0.5)
+        assert approx.sort_work == 0.0
+        assert exact.sync_barriers > approx.sync_barriers
+
+
+class TestCostProfile:
+    def test_groupby_shuffles_everything(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(8))
+        batch = make_batch({"a": 500, "b": 500})
+        result = sampler.sample_by_key(batch, KEY, 0.1)
+        assert result.shuffled_items == 1000
+
+    def test_barrier_per_stratum_plus_groupby(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(9))
+        result = sampler.sample_by_key(make_batch({"a": 10, "b": 10, "c": 10}), KEY, 0.5)
+        assert result.sync_barriers == 4  # groupBy + one per stratum
+
+    def test_sort_work_positive_for_exact(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(10))
+        result = sampler.sample_by_key(make_batch({"a": 10_000}), KEY, 0.5)
+        assert result.sort_work > 0
+
+
+class TestResultAccessors:
+    def test_items_and_population(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(11))
+        result = sampler.sample_by_key(make_batch({"a": 100, "b": 60}), KEY, 0.5)
+        assert result.population == 160
+        assert len(result.items) == 50 + 30
+
+    def test_weights(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(12))
+        result = sampler.sample_by_key(make_batch({"a": 100}), KEY, 0.25)
+        assert result.weights()["a"] == pytest.approx(4.0)
+
+    def test_weight_of_empty_stratum(self):
+        sampler = StratifiedSampler(exact=True, rng=random.Random(13))
+        result = sampler.sample_by_key(make_batch({"a": 10}), KEY, {"a": 0.0})
+        assert result.weights()["a"] == 1.0
+
+
+class TestProportionalFractions:
+    def test_uniform_fraction_from_counts(self):
+        sampler = StratifiedSampler()
+        fractions = sampler.proportional_fractions({"a": 800, "b": 200}, total_sample=100)
+        assert fractions["a"] == pytest.approx(0.1)
+        assert fractions["b"] == pytest.approx(0.1)
+
+    def test_empty_counts(self):
+        sampler = StratifiedSampler()
+        assert sampler.proportional_fractions({"a": 0}, 10) == {"a": 0.0}
+
+    def test_fraction_capped_at_one(self):
+        sampler = StratifiedSampler()
+        fractions = sampler.proportional_fractions({"a": 10}, total_sample=100)
+        assert fractions["a"] == 1.0

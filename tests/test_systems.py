@@ -1,0 +1,219 @@
+"""Integration tests for the six end-to-end systems (Figure 3)."""
+
+import pytest
+
+from repro.system import (
+    ALL_SYSTEMS,
+    FlinkStreamApproxSystem,
+    NativeFlinkSystem,
+    NativeSparkSystem,
+    SparkSRSSystem,
+    SparkSTSSystem,
+    SparkStreamApproxSystem,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+)
+from repro.system.base import accuracy_loss, exact_panes
+from repro.workloads.synthetic import stream_by_rates
+
+KEY = lambda it: it[0]  # noqa: E731
+VAL = lambda it: it[1]  # noqa: E731
+
+QUERY = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean")
+WINDOW = WindowConfig(length=10.0, slide=5.0)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    # 4000/1000/50 items/s for 12 s — small enough for fast tests, skewed
+    # enough that stratification matters.
+    return stream_by_rates({"A": 4000, "B": 1000, "C": 50}, duration=12, seed=3)
+
+
+def run(cls, stream, fraction=0.6, **cfg):
+    config = SystemConfig(sampling_fraction=fraction, **cfg)
+    return cls(QUERY, WINDOW, config).run(stream)
+
+
+class TestConfigValidation:
+    def test_query_kind(self):
+        with pytest.raises(ValueError):
+            StreamQuery(key_fn=KEY, value_fn=VAL, kind="median")
+
+    def test_window(self):
+        with pytest.raises(ValueError):
+            WindowConfig(length=-1, slide=5)
+        with pytest.raises(ValueError):
+            WindowConfig(length=5, slide=10)
+        assert WindowConfig(10, 5).intervals_per_window == 2
+
+    def test_system_config(self):
+        with pytest.raises(ValueError):
+            SystemConfig(sampling_fraction=0.0)
+        with pytest.raises(ValueError):
+            SystemConfig(sampling_fraction=1.5)
+        with pytest.raises(ValueError):
+            SystemConfig(batch_interval=0)
+        with pytest.raises(ValueError):
+            SystemConfig(nodes=0)
+
+
+class TestExactPanes:
+    def test_mean_truth(self, stream):
+        truth = exact_panes(stream, QUERY, WINDOW)
+        assert truth, "no panes computed"
+        for _end, (exact, _groups, count) in truth.items():
+            assert count > 0
+            assert exact > 0
+
+    def test_accuracy_loss_metric(self):
+        assert accuracy_loss(101.0, 100.0) == pytest.approx(0.01)
+        assert accuracy_loss(0.0, 0.0) == 0.0
+        assert accuracy_loss(1.0, 0.0) == float("inf")
+
+
+class TestNativeSystems:
+    @pytest.mark.parametrize("cls", [NativeSparkSystem, NativeFlinkSystem])
+    def test_exact_results(self, stream, cls):
+        report = run(cls, stream, fraction=1.0)
+        assert report.results, "no panes"
+        for pane in report.results:
+            assert pane.accuracy_loss == pytest.approx(0.0, abs=1e-9)
+            assert pane.error is not None and pane.error.margin == pytest.approx(0.0)
+
+    def test_native_flink_faster_than_native_spark(self, stream):
+        spark = run(NativeSparkSystem, stream, fraction=1.0)
+        flink = run(NativeFlinkSystem, stream, fraction=1.0)
+        assert flink.throughput > spark.throughput
+
+
+class TestSampledSystems:
+    @pytest.mark.parametrize(
+        "cls",
+        [SparkStreamApproxSystem, FlinkStreamApproxSystem, SparkSRSSystem, SparkSTSSystem],
+    )
+    def test_runs_and_estimates(self, stream, cls):
+        report = run(cls, stream)
+        assert report.results
+        # Mean query over values dominated by C (~10000): estimates must be
+        # in a plausible band around the truth.
+        for pane in report.results:
+            assert pane.exact is not None
+            assert pane.accuracy_loss is not None
+            assert pane.accuracy_loss < 0.25
+
+    @pytest.mark.parametrize(
+        "cls", [SparkStreamApproxSystem, FlinkStreamApproxSystem]
+    )
+    def test_streamapprox_samples_roughly_the_fraction(self, stream, cls):
+        report = run(cls, stream, fraction=0.4)
+        mid_panes = report.results[1:-1]
+        for pane in mid_panes:
+            achieved = pane.sampled_items / pane.total_items
+            assert 0.25 < achieved < 0.6
+
+    def test_error_bounds_cover_truth(self, stream):
+        report = run(SparkStreamApproxSystem, stream, fraction=0.3)
+        covered = sum(
+            1 for p in report.results if p.error is not None and p.error.covers(p.exact)
+        )
+        assert covered / len(report.results) >= 0.7  # 95% nominal, tiny n
+
+    def test_sampled_systems_faster_than_native(self, stream):
+        native = run(NativeSparkSystem, stream, fraction=1.0)
+        for cls in (SparkStreamApproxSystem, SparkSRSSystem):
+            report = run(cls, stream, fraction=0.1)
+            assert report.throughput > native.throughput
+
+
+class TestPaperOrderings:
+    """The qualitative claims of Figures 4, 8, 9 at the 60% operating point."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, stream):
+        return {name: run(cls, stream) for name, cls in ALL_SYSTEMS.items()}
+
+    def test_flink_streamapprox_fastest(self, reports):
+        top = max(reports.values(), key=lambda r: r.throughput)
+        assert top.system == "flink-streamapprox"
+
+    def test_sts_slowest(self, reports):
+        bottom = min(reports.values(), key=lambda r: r.throughput)
+        assert bottom.system == "spark-sts"
+
+    def test_streamapprox_beats_sts_by_papers_factor(self, reports):
+        ratio = (
+            reports["spark-streamapprox"].throughput
+            / reports["spark-sts"].throughput
+        )
+        assert 1.3 < ratio < 2.6  # paper: 1.68× at 60%
+
+    def test_streamapprox_similar_to_srs(self, reports):
+        ratio = reports["spark-streamapprox"].throughput / reports["spark-srs"].throughput
+        assert 0.9 < ratio < 1.5  # paper: "similar throughput"
+
+    def test_native_spark_beats_sts(self, reports):
+        assert reports["native-spark"].throughput > reports["spark-sts"].throughput
+
+    def test_stratified_more_accurate_than_srs(self, reports):
+        srs_loss = reports["spark-srs"].mean_accuracy_loss()
+        for name in ("spark-streamapprox", "flink-streamapprox", "spark-sts"):
+            assert reports[name].mean_accuracy_loss() < srs_loss
+
+    def test_latency_ordering(self, reports):
+        """Fig 10: StreamApprox < SRS < STS in dataset-processing latency."""
+        assert (
+            reports["spark-streamapprox"].latency
+            < reports["spark-srs"].latency
+            < reports["spark-sts"].latency
+        )
+
+
+class TestGroupedQuery:
+    def test_per_group_estimates(self, stream):
+        query = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean", group_fn=KEY)
+        report = SparkStreamApproxSystem(query, WINDOW, SystemConfig()).run(stream)
+        pane = report.results[1]
+        assert set(pane.groups) == {"A", "B", "C"}
+        for group, exact in pane.exact_groups.items():
+            assert pane.groups[group] == pytest.approx(exact, rel=0.2)
+
+    def test_srs_misses_rare_group(self):
+        """On a very skewed stream at a low fraction, SRS can drop stratum C."""
+        skewed = stream_by_rates({"A": 20000, "B": 4000, "C": 1}, duration=6, seed=5)
+        query = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean", group_fn=KEY)
+        srs = SparkSRSSystem(query, WINDOW, SystemConfig(sampling_fraction=0.02)).run(skewed)
+        approx = SparkStreamApproxSystem(
+            query, WINDOW, SystemConfig(sampling_fraction=0.02)
+        ).run(skewed)
+        # OASRS keeps C in every pane; SRS misses it in at least one.
+        assert all("C" in p.groups for p in approx.results)
+        assert any("C" not in p.groups for p in srs.results)
+
+
+class TestBatchIntervalEffect:
+    def test_smaller_intervals_widen_streamapprox_lead(self, stream):
+        """Fig 4c: SA/STS throughput ratio grows as the interval shrinks."""
+        ratios = {}
+        for interval in (0.25, 1.0):
+            sa = run(SparkStreamApproxSystem, stream, batch_interval=interval)
+            sts = run(SparkSTSSystem, stream, batch_interval=interval)
+            ratios[interval] = sa.throughput / sts.throughput
+        assert ratios[0.25] > ratios[1.0]
+
+
+class TestScalability:
+    def test_more_nodes_increase_throughput(self, stream):
+        one = run(SparkStreamApproxSystem, stream, nodes=1)
+        three = run(SparkStreamApproxSystem, stream, nodes=3)
+        assert three.throughput > one.throughput
+
+    def test_sts_scales_worse_than_streamapprox(self, stream):
+        """Fig 6a: STS's barriers erode its scaling."""
+        def scaling(cls):
+            r1 = run(cls, stream, fraction=0.4, nodes=1)
+            r3 = run(cls, stream, fraction=0.4, nodes=3)
+            return r3.throughput / r1.throughput
+
+        assert scaling(SparkStreamApproxSystem) > scaling(SparkSTSSystem)

@@ -1,0 +1,195 @@
+"""Tests for the workload generators (§5.1, §6.2, §6.3)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.workloads.netflow import (
+    PROTOCOL_MIX,
+    flow_bytes,
+    flow_protocol,
+    generate_flows,
+    netflow_stream,
+)
+from repro.workloads.synthetic import (
+    SubStreamSpec,
+    _poisson,
+    gaussian_skew_substreams,
+    gaussian_substreams,
+    make_stream,
+    poisson_substreams,
+    stream_by_rates,
+    stream_by_shares,
+)
+from repro.workloads.taxi import (
+    BOROUGH_MIX,
+    generate_rides,
+    ride_borough,
+    ride_distance,
+    taxi_stream,
+)
+
+
+class TestSubStreamSpec:
+    def test_gaussian_values(self):
+        spec = SubStreamSpec("A", "gaussian", mu=100, sigma=5)
+        rng = random.Random(0)
+        values = [next(spec.values(rng)) for _ in range(2000)]
+        assert abs(statistics.fmean(values) - 100) < 1.0
+
+    def test_poisson_values(self):
+        spec = SubStreamSpec("B", "poisson", lam=50)
+        rng = random.Random(1)
+        gen = spec.values(rng)
+        values = [next(gen) for _ in range(2000)]
+        assert abs(statistics.fmean(values) - 50) < 2.0
+
+    def test_unknown_distribution(self):
+        spec = SubStreamSpec("X", "zipf")
+        with pytest.raises(ValueError):
+            next(spec.values(random.Random(0)))
+
+    def test_paper_parameterisations(self):
+        gauss = {s.source: (s.mu, s.sigma) for s in gaussian_substreams()}
+        assert gauss == {"A": (10, 5), "B": (1000, 50), "C": (10000, 500)}
+        skew = {s.source: (s.mu, s.sigma) for s in gaussian_skew_substreams()}
+        assert skew == {"A": (100, 10), "B": (1000, 100), "C": (10000, 1000)}
+        poi = {s.source: s.lam for s in poisson_substreams()}
+        assert poi == {"A": 10, "B": 1000, "C": 100_000_000}
+
+
+class TestPoissonSampler:
+    def test_small_lambda_knuth(self):
+        rng = random.Random(2)
+        values = [_poisson(rng, 3.0) for _ in range(4000)]
+        assert abs(statistics.fmean(values) - 3.0) < 0.15
+
+    def test_large_lambda_normal_approx(self):
+        rng = random.Random(3)
+        values = [_poisson(rng, 1e8) for _ in range(200)]
+        mean = statistics.fmean(values)
+        assert abs(mean - 1e8) / 1e8 < 1e-4
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            _poisson(random.Random(0), 0.0)
+
+
+class TestMakeStream:
+    def test_counts_match_rates(self):
+        stream = stream_by_rates({"A": 100, "B": 50, "C": 10}, duration=10, seed=0)
+        counts = {}
+        for _ts, (source, _v) in stream:
+            counts[source] = counts.get(source, 0) + 1
+        assert counts == {"A": 1000, "B": 500, "C": 100}
+
+    def test_time_ordered(self):
+        stream = stream_by_rates({"A": 200, "B": 100}, duration=5, seed=1)
+        timestamps = [ts for ts, _ in stream]
+        assert timestamps == sorted(timestamps)
+
+    def test_deterministic_given_seed(self):
+        a = stream_by_rates({"A": 100}, duration=2, seed=7)
+        b = stream_by_rates({"A": 100}, duration=2, seed=7)
+        assert a == b
+
+    def test_changing_one_rate_keeps_other_values(self):
+        """Independent child RNGs: sub-stream B's values are identical even
+        when A's rate changes."""
+        low = stream_by_rates({"A": 10, "B": 100}, duration=2, seed=9)
+        high = stream_by_rates({"A": 1000, "B": 100}, duration=2, seed=9)
+        b_low = [v for _ts, (s, v) in low if s == "B"]
+        b_high = [v for _ts, (s, v) in high if s == "B"]
+        assert b_low == b_high
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            make_stream(gaussian_substreams(), {"A": 1, "B": 1, "C": 1}, duration=0)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            stream_by_shares(
+                gaussian_substreams(), {"A": 0.5, "B": 0.1, "C": 0.1}, 100, 1
+            )
+
+    def test_shares_split(self):
+        stream = stream_by_shares(
+            gaussian_skew_substreams(),
+            {"A": 0.80, "B": 0.19, "C": 0.01},
+            total_rate=1000,
+            duration=10,
+            seed=0,
+        )
+        counts = {}
+        for _ts, (source, _v) in stream:
+            counts[source] = counts.get(source, 0) + 1
+        assert counts["A"] == 8000 and counts["B"] == 1900 and counts["C"] == 100
+
+
+class TestNetflow:
+    def test_mix_matches_paper(self):
+        assert PROTOCOL_MIX["TCP"] == pytest.approx(0.623, abs=0.001)
+        assert PROTOCOL_MIX["UDP"] == pytest.approx(0.362, abs=0.001)
+        assert PROTOCOL_MIX["ICMP"] == pytest.approx(0.0151, abs=0.001)
+        assert sum(PROTOCOL_MIX.values()) == pytest.approx(1.0)
+
+    def test_generate_flows_shapes(self):
+        rng = random.Random(4)
+        tcp = generate_flows("TCP", 3000, rng)
+        icmp = generate_flows("ICMP", 3000, rng)
+        mean_tcp = statistics.fmean(f.bytes for f in tcp)
+        mean_icmp = statistics.fmean(f.bytes for f in icmp)
+        assert mean_tcp > 10 * mean_icmp  # TCP flows dominate bytes
+        assert all(f.bytes >= 40 and f.packets >= 1 for f in tcp + icmp)
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            generate_flows("SCTP", 1, random.Random(0))
+
+    def test_stream_composition(self):
+        stream = netflow_stream(total_rate=10_000, duration=5, seed=0)
+        counts = {}
+        for _ts, item in stream:
+            counts[flow_protocol(item)] = counts.get(flow_protocol(item), 0) + 1
+        total = sum(counts.values())
+        assert counts["TCP"] / total == pytest.approx(0.623, abs=0.01)
+        assert counts["ICMP"] / total == pytest.approx(0.015, abs=0.005)
+
+    def test_value_accessor(self):
+        stream = netflow_stream(total_rate=1000, duration=1, seed=1)
+        assert all(flow_bytes(item) >= 40 for _ts, item in stream)
+
+
+class TestTaxi:
+    def test_mix_sums_to_one(self):
+        assert sum(BOROUGH_MIX.values()) == pytest.approx(1.0)
+
+    def test_manhattan_dominates(self):
+        assert BOROUGH_MIX["Manhattan"] > 0.5
+        assert BOROUGH_MIX["Staten Island"] < 0.01
+
+    def test_distance_distributions_differ(self):
+        rng = random.Random(5)
+        manhattan = statistics.fmean(
+            r.distance_miles for r in generate_rides("Manhattan", 2000, rng)
+        )
+        staten = statistics.fmean(
+            r.distance_miles for r in generate_rides("Staten Island", 2000, rng)
+        )
+        assert staten > 2 * manhattan
+
+    def test_unknown_borough(self):
+        with pytest.raises(ValueError):
+            generate_rides("Atlantis", 1, random.Random(0))
+
+    def test_stream_accessors(self):
+        stream = taxi_stream(total_rate=5_000, duration=4, seed=0)
+        assert stream
+        boroughs = {ride_borough(item) for _ts, item in stream}
+        assert "Manhattan" in boroughs and "Staten Island" in boroughs
+        assert all(0 < ride_distance(item) <= 60 for _ts, item in stream)
+
+    def test_fares_positive(self):
+        rides = generate_rides("Queens", 100, random.Random(6))
+        assert all(r.fare_usd > 2.5 for r in rides)
