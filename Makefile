@@ -1,0 +1,22 @@
+# Convenience targets for the StreamApprox reproduction.
+#
+#   make test    — the tier-1 verification suite (tests + figure benchmarks)
+#   make smoke   — fast end-to-end sanity run of examples/quickstart.py
+#   make bench   — only the figure-reproduction benchmarks
+#   make check   — test + smoke (what CI should run)
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test smoke bench check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) examples/quickstart.py
+
+bench:
+	$(PYTHON) -m pytest -x -q benchmarks/
+
+check: test smoke

@@ -34,6 +34,7 @@ from .core import (
     AccuracyBudget,
     AdaptiveSampleSizeController,
     DistributedOASRS,
+    ShardedExecutor,
     ErrorBound,
     FixedPerStratum,
     LatencyBudget,
@@ -52,6 +53,7 @@ from .system import (
     FlinkStreamApproxSystem,
     NativeFlinkSystem,
     NativeSparkSystem,
+    NativeStreamApproxSystem,
     SparkSRSSystem,
     SparkSTSSystem,
     SparkStreamApproxSystem,
@@ -74,8 +76,10 @@ __all__ = [
     "LatencyBudget",
     "NativeFlinkSystem",
     "NativeSparkSystem",
+    "NativeStreamApproxSystem",
     "OASRSSampler",
     "ResourceBudget",
+    "ShardedExecutor",
     "SparkSRSSystem",
     "SparkSTSSystem",
     "SparkStreamApproxSystem",

@@ -9,11 +9,15 @@ Run single comparisons without writing a script::
 
 Subcommands:
 
-* ``systems`` — list the six available systems,
+* ``systems`` — list the available systems (the paper's six plus the
+  chunked/sharded ``native-streamapprox`` executor),
 * ``compare`` — run chosen systems once at one sampling fraction and print
   throughput / accuracy / latency plus an ASCII bar chart,
 * ``sweep`` — sweep the sampling fraction and print the resulting figure
   table and an ASCII line chart.
+
+``--chunk-size K`` routes items through the vectorized chunk path and
+``--parallelism N`` shards supported systems over N real processes.
 
 The CLI is a thin veneer over the same public API the benchmarks use; it
 exists so a fresh checkout can produce paper-shaped numbers in one line.
@@ -27,14 +31,24 @@ from typing import Dict, List
 
 from .metrics.ascii_chart import bar_chart, line_chart
 from .metrics.collector import ExperimentCollector
-from .system import ALL_SYSTEMS, StreamQuery, SystemConfig, WindowConfig
+from .system import (
+    ALL_SYSTEMS,
+    NativeStreamApproxSystem,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+)
 from .workloads.netflow import flow_bytes, flow_protocol, netflow_stream
 from .workloads.synthetic import stream_by_rates
 from .workloads.taxi import ride_borough, ride_distance, taxi_stream
 
 __all__ = ["main", "build_parser", "make_workload"]
 
+# The paper's six plus this repo's chunked/sharded native executor.
+_CLI_SYSTEMS = {**ALL_SYSTEMS, NativeStreamApproxSystem.name: NativeStreamApproxSystem}
 _DEFAULT_SYSTEMS = list(ALL_SYSTEMS)
+# Systems that process everything — the sampling fraction does not apply.
+_UNSAMPLED = {"native-spark", "native-flink"}
 
 
 def make_workload(name: str, rate: float, duration: float, seed: int):
@@ -67,19 +81,29 @@ def make_workload(name: str, rate: float, duration: float, seed: int):
 
 
 def _run_systems(
-    names: List[str], stream, query, fraction: float, window: WindowConfig
+    names: List[str],
+    stream,
+    query,
+    fraction: float,
+    window: WindowConfig,
+    chunk_size: int = 0,
+    parallelism: int = 1,
 ) -> Dict[str, object]:
     reports = {}
     for name in names:
-        cls = ALL_SYSTEMS[name]
-        config = SystemConfig(sampling_fraction=fraction if "native" not in name else 1.0)
+        cls = _CLI_SYSTEMS[name]
+        config = SystemConfig(
+            sampling_fraction=fraction if name not in _UNSAMPLED else 1.0,
+            chunk_size=chunk_size,
+            parallelism=parallelism,
+        )
         reports[name] = cls(query, window, config).run(stream)
     return reports
 
 
 def cmd_systems(_args) -> int:
     print("available systems:")
-    for name, cls in ALL_SYSTEMS.items():
+    for name, cls in _CLI_SYSTEMS.items():
         doc = (cls.__doc__ or "").strip().splitlines()[0]
         print(f"  {name:22s} {doc}")
     return 0
@@ -88,7 +112,10 @@ def cmd_systems(_args) -> int:
 def cmd_compare(args) -> int:
     stream, query = make_workload(args.workload, args.rate, args.duration, args.seed)
     window = WindowConfig(args.window, args.slide)
-    reports = _run_systems(args.systems, stream, query, args.fraction, window)
+    reports = _run_systems(
+        args.systems, stream, query, args.fraction, window,
+        chunk_size=args.chunk_size, parallelism=args.parallelism,
+    )
 
     print(f"workload={args.workload} items={len(stream):,} fraction={args.fraction}\n")
     print(f"{'system':>22} {'items/s':>12} {'loss':>9} {'latency(s)':>11}")
@@ -111,10 +138,16 @@ def cmd_sweep(args) -> int:
     collector = ExperimentCollector(f"sweep_{args.workload}")
     for fraction in args.fractions:
         for name in args.systems:
-            if "native" in name:
+            if name in _UNSAMPLED:
                 continue
-            report = ALL_SYSTEMS[name](
-                query, window, SystemConfig(sampling_fraction=fraction)
+            report = _CLI_SYSTEMS[name](
+                query,
+                window,
+                SystemConfig(
+                    sampling_fraction=fraction,
+                    chunk_size=args.chunk_size,
+                    parallelism=args.parallelism,
+                ),
             ).run(stream)
             collector.record(fraction, report)
 
@@ -147,8 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--window", type=float, default=10.0)
         p.add_argument("--slide", type=float, default=5.0)
         p.add_argument("--seed", type=int, default=42)
-        p.add_argument("--systems", nargs="+", choices=_DEFAULT_SYSTEMS,
+        p.add_argument("--systems", nargs="+", choices=list(_CLI_SYSTEMS),
                        default=_DEFAULT_SYSTEMS)
+        p.add_argument("--chunk-size", type=int, default=0, dest="chunk_size",
+                       help="vectorized chunk size (0 = per-item execution)")
+        p.add_argument("--parallelism", type=int, default=1,
+                       help="real worker processes for the sharded executor")
 
     compare = sub.add_parser("compare", help="run systems at one fraction")
     add_common(compare)

@@ -22,7 +22,7 @@ from .budget import (
     ResourceBudget,
     VirtualCostFunction,
 )
-from .distributed import DistributedOASRS
+from .distributed import DistributedOASRS, ShardedExecutor
 from .error import (
     ErrorBound,
     confidence_z,
@@ -89,6 +89,7 @@ __all__ = [
     "QueryResult",
     "Reservoir",
     "ResilientDistributedOASRS",
+    "ShardedExecutor",
     "ResourceBudget",
     "StratumSample",
     "StratumStats",

@@ -1,31 +1,42 @@
-"""Distributed OASRS execution (§3.2, "Distributed execution").
+"""Distributed OASRS execution (§3.2) — now a real multi-process executor.
 
-OASRS parallelises without synchronization: a sub-stream handled by ``w``
-workers is split so each worker keeps a *local* reservoir of capacity
-``⌈N_i / w⌉`` plus a local counter.  At interval close, the coordinator
-concatenates the local reservoirs and sums the local counters per stratum,
-then re-derives the Equation-1 weight — no barrier, no shuffle, just one
-O(sample-size) merge.
+This module is no longer only a simulation.  It provides two levels of the
+paper's synchronization-free distribution scheme, in which a sub-stream
+handled by ``w`` workers is split so each worker keeps a *local* reservoir
+of capacity ``⌈N_i / w⌉`` plus a local counter, and at interval close the
+coordinator concatenates the local reservoirs, sums the local counters per
+stratum, and re-derives the Equation-1 weight — no barrier, no shuffle,
+just one O(sample-size) merge:
 
-``DistributedOASRS`` models this: it owns ``w`` `OASRSSampler` instances and
-routes items to workers (round-robin by default, mirroring a partitioned
-Kafka topic; a custom ``route_fn`` can model any partitioner).  The merge
-uses `repro.core.strata.combine_worker_samples`, which the tests verify is
-statistically indistinguishable from a single global reservoir.
+* `ShardedExecutor` — **real parallel execution**: partitions each
+  interval's items across ``workers`` operating-system processes
+  (``multiprocessing`` with the fork start method), runs per-shard OASRS
+  through the vectorized `OASRSSampler.process_chunk` path in every worker,
+  and merges the weighted shard samples in the parent.  This is the
+  executor behind ``SystemConfig(parallelism=N)``.
+* `DistributedOASRS` — the original in-process *model* of the same scheme
+  (w samplers, routed items, one merge), kept for the statistical ablations
+  and for tests that need deterministic single-process routing.
+
+Both merge through `repro.core.strata.combine_worker_samples`, which the
+tests verify is statistically indistinguishable from a single global
+reservoir.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
 import random
-from typing import Callable, Generic, Iterable, List, Optional, TypeVar
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from .oasrs import AllocationPolicy, FixedPerStratum, KeyFn, OASRSSampler
-from .strata import WeightedSample, combine_worker_samples
+from .strata import StratumSample, WeightedSample, combine_worker_samples, stratum_weight
 
 T = TypeVar("T")
 
-__all__ = ["DistributedOASRS"]
+__all__ = ["DistributedOASRS", "ShardedExecutor"]
 
 
 class _ScaledPolicy(AllocationPolicy):
@@ -40,8 +51,149 @@ class _ScaledPolicy(AllocationPolicy):
         return max(1, math.ceil(full / self._workers))
 
 
+# State handed to forked shard workers.  The fork start method inherits the
+# parent's memory, so shards, policies, and (crucially) closure-based key
+# functions reach the children without pickling; only the small per-shard
+# result payloads cross the process boundary.
+_FORK_STATE: Optional[Tuple] = None
+
+
+def _shard_payload(index: int) -> List[Tuple[object, List[object], int]]:
+    """Run OASRS over one shard; return a picklable (key, items, count) list."""
+    shards, policy, key_fn, workers, seeds, chunk_size = _FORK_STATE
+    sampler: OASRSSampler = OASRSSampler(
+        _ScaledPolicy(policy, workers),
+        key_fn=key_fn,
+        rng=random.Random(seeds[index]),
+    )
+    shard = shards[index]
+    for start in range(0, len(shard), chunk_size):
+        sampler.process_chunk(shard[start : start + chunk_size])
+    sample = sampler.close_interval()
+    return [(s.key, list(s.items), s.count) for s in sample]
+
+
+class ShardedExecutor(Generic[T]):
+    """Real multi-core OASRS: one process per shard, one weighted merge.
+
+    Each call to ``run`` partitions the interval's items round-robin (or by
+    ``route_fn``) into ``workers`` sub-streams, forks a worker process per
+    shard, samples every shard with a 1/w-scaled copy of the allocation
+    policy through the vectorized chunk path, and merges the shard samples
+    by summing counters and re-deriving Equation-1 weights — the paper's
+    synchronization-free distributed execution, on actual cores.
+
+    Adaptive policies stay adaptive: after each merge the *parent's* policy
+    observes the merged per-stratum counters, so the next interval's forked
+    workers inherit the rebalanced capacities.
+
+    Falls back to in-process execution when ``workers == 1``, when the
+    platform lacks the fork start method, or when ``REPRO_NO_MP`` is set —
+    results are drawn from the same distribution either way.
+
+    Example
+    -------
+    >>> ex = ShardedExecutor(4, FixedPerStratum(8), key_fn=lambda it: it[0],
+    ...                      seed=1)
+    >>> sample = ex.run([("a", i) for i in range(1000)])
+    >>> sample["a"].count, sample["a"].sample_size
+    (1000, 8)
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        policy: AllocationPolicy,
+        key_fn: KeyFn,
+        seed: Optional[int] = None,
+        chunk_size: int = 1024,
+        route_fn: Optional[Callable[[T, int], int]] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._policy = policy
+        self._key_fn = key_fn
+        self._rng = random.Random(seed)
+        self._route_fn = route_fn
+        self.last_run_parallel = False
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return (
+            "fork" in multiprocessing.get_all_start_methods()
+            and not os.environ.get("REPRO_NO_MP")
+        )
+
+    def _partition(self, items: Sequence[T]) -> List[List[T]]:
+        if self._route_fn is None:
+            # Strided slices == round-robin, without a per-item Python loop.
+            return [list(items[w :: self.workers]) for w in range(self.workers)]
+        shards: List[List[T]] = [[] for _ in range(self.workers)]
+        for index, item in enumerate(items):
+            shards[self._route_fn(item, index) % self.workers].append(item)
+        return shards
+
+    def run(self, items: Sequence[T]) -> WeightedSample[T]:
+        """Sample one interval's items across all shards and merge.
+
+        The only cross-worker step is the final merge (counters add,
+        reservoirs concatenate, weights re-derive) — there is no barrier or
+        shuffle during the interval itself.
+        """
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        self.last_run_parallel = False
+        if not items:
+            # Nothing to shard — do not pay a pool fork for an empty merge.
+            return WeightedSample()
+        shards = self._partition(items)
+        seeds = [self._rng.getrandbits(64) for _ in range(self.workers)]
+        state = (shards, self._policy, self._key_fn, self.workers, seeds, self.chunk_size)
+        payloads = None
+        if self.workers > 1 and self._fork_available():
+            global _FORK_STATE
+            _FORK_STATE = state
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(self.workers) as pool:
+                    payloads = pool.map(_shard_payload, range(self.workers))
+                self.last_run_parallel = True
+            except (OSError, ValueError, RuntimeError):
+                payloads = None  # fall back to in-process below
+            finally:
+                _FORK_STATE = None
+        if payloads is None:
+            _FORK_STATE = state
+            try:
+                payloads = [_shard_payload(w) for w in range(self.workers)]
+            finally:
+                _FORK_STATE = None
+        merged = combine_worker_samples([self._decode(p) for p in payloads])
+        observe = getattr(self._policy, "observe", None)
+        if observe is not None:
+            observe({s.key: s.count for s in merged})
+        return merged
+
+    @staticmethod
+    def _decode(payload: List[Tuple[object, List[object], int]]) -> WeightedSample[T]:
+        sample: WeightedSample[T] = WeightedSample()
+        for key, kept, count in payload:
+            sample.add(
+                StratumSample(key, tuple(kept), count, stratum_weight(count, len(kept)))
+            )
+        return sample
+
+
 class DistributedOASRS(Generic[T]):
-    """OASRS spread over ``workers`` synchronization-free workers.
+    """In-process model of OASRS over ``workers`` synchronization-free workers.
+
+    For execution on real cores use `ShardedExecutor`; this class keeps all
+    samplers in the calling process, which makes routing deterministic and
+    cheap to instrument — the configuration the ablation tests rely on.
 
     Parameters
     ----------

@@ -11,10 +11,13 @@ OASRS is the paper's core contribution.  Within each time interval it:
 4. on interval close, assigns each stratum the Equation-1 weight
    ``W_i = C_i / Y_i`` (when the reservoir overflowed) or ``1``.
 
-The sampler is *online*: items are processed one at a time with O(1) work,
-and it is *adaptive*: per-stratum reservoir capacities come from a policy
-that may be re-evaluated every interval (e.g. driven by the query budget,
-see `repro.core.budget`).
+The sampler is *online*: items are processed one at a time with O(1) work
+(``offer``) or, on hot paths, chunk at a time with amortised routing and
+batched RNG draws (``process_chunk`` — statistically equivalent, see
+`repro.core.reservoir.Reservoir.offer_many`), and it is *adaptive*:
+per-stratum reservoir capacities come from a policy that may be
+re-evaluated every interval (e.g. driven by the query budget, see
+`repro.core.budget`).
 
 Two capacity policies from the paper are provided:
 
@@ -35,7 +38,9 @@ from typing import (
     Generic,
     Hashable,
     Iterable,
+    List,
     Optional,
+    Sequence,
     TypeVar,
 )
 
@@ -259,8 +264,52 @@ class OASRSSampler(Generic[T]):
         return key
 
     def offer_many(self, items: Iterable[T]) -> None:
+        """Offer items one at a time (the legacy per-item loop).
+
+        Prefer `process_chunk` on hot paths — it amortises routing and RNG
+        work across the whole chunk.
+        """
         for item in items:
             self.offer(item)
+
+    def process_chunk(self, items: Sequence[T]) -> int:
+        """Vectorized fast path: route and sample a whole chunk at once.
+
+        Groups the chunk by stratum in a single pass, then hands each
+        stratum's run of items to its reservoir's `Reservoir.offer_many`
+        batched-RNG path.  Statistically equivalent to offering each item
+        individually (identical per-item acceptance probabilities; ordering
+        within a stratum is preserved), and bit-for-bit identical for
+        one-item chunks.  Returns the number of items that entered a
+        reservoir.
+        """
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        if not items:
+            return 0
+        if len(items) == 1:
+            self.offer(items[0])
+            return 1
+        key_fn = self._key_fn
+        groups: Dict[Key, List[T]] = {}
+        get_group = groups.get
+        for item in items:
+            key = key_fn(item)
+            bucket = get_group(key)
+            if bucket is None:
+                groups[key] = bucket = []
+            bucket.append(item)
+        reservoirs = self._reservoirs
+        accepted = 0
+        for key, members in groups.items():
+            reservoir = reservoirs.get(key)
+            if reservoir is None:
+                self._known_keys.add(key)
+                capacity = self._policy.capacity_for(key, len(self._known_keys))
+                reservoir = Reservoir(capacity, rng=self._rng)
+                reservoirs[key] = reservoir
+            accepted += reservoir.offer_many(members)
+        return accepted
 
     def peek(self) -> WeightedSample[T]:
         """Current interval's weighted sample *without* resetting state."""

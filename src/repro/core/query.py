@@ -21,7 +21,14 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Hashable, List, Optional, TypeVar
 
+from ._vector import np as _np
 from .strata import StratumSample, WeightedSample
+
+# Strata smaller than this keep the exact fsum path: identical rounding for
+# the unit tests, no NumPy call overhead where it would not pay off.
+# (Deliberately larger than `_vector.VECTOR_MIN` — moments are cheaper per
+# item than RNG draws, so vectorization pays off later.)
+_VECTOR_MIN_STATS = 4096
 
 T = TypeVar("T")
 ValueFn = Callable[[T], float]
@@ -61,8 +68,28 @@ class StratumStats:
     def from_stratum(
         stratum: StratumSample[T], value_fn: Optional[ValueFn] = None
     ) -> "StratumStats":
+        y = len(stratum.items)
+        if _np is not None and y >= _VECTOR_MIN_STATS:
+            # Vectorized path for large strata: one pass of the (Python)
+            # value function into a NumPy buffer, then C-speed moments.
+            items = stratum.items
+            if value_fn is None:
+                array = _np.asarray(items, dtype=_np.float64)
+            else:
+                array = _np.asarray([value_fn(x) for x in items], dtype=_np.float64)
+            total = float(array.sum())
+            mean = total / y
+            variance = float(array.var(ddof=1)) if y > 1 else 0.0
+            return StratumStats(
+                key=stratum.key,
+                y=y,
+                c=stratum.count,
+                weight=stratum.weight,
+                total=total,
+                mean=mean,
+                variance=variance,
+            )
         values = stratum.values(value_fn)
-        y = len(values)
         total = math.fsum(values)
         mean = total / y if y else 0.0
         if y > 1:

@@ -10,12 +10,27 @@ paper's Algorithm 1 relies on.
 
 The implementation is intentionally dependency-free and allocation-light:
 one list of at most ``capacity`` items and one integer counter.
+
+Two execution paths are provided:
+
+* ``offer`` — the textbook per-item loop (one ``random()`` draw per item
+  once the reservoir is full),
+* ``offer_many`` — the vectorized chunk path: batched RNG draws via
+  Vitter-style skip counting (Algorithm X), or one NumPy draw per chunk
+  when NumPy is available.  Both paths realise the same per-item acceptance
+  probability ``capacity / i``, so samples are statistically
+  interchangeable; a chunk of one item delegates to ``offer`` and is
+  bit-for-bit identical.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Generic, Iterable, Iterator, List, Optional, TypeVar
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+from ._vector import VECTOR_MIN as _VECTOR_MIN
+from ._vector import derive_generator as _derive_generator
+from ._vector import np as _np
 
 T = TypeVar("T")
 
@@ -44,7 +59,7 @@ class Reservoir(Generic[T]):
     100
     """
 
-    __slots__ = ("_capacity", "_items", "_seen", "_rng")
+    __slots__ = ("_capacity", "_items", "_seen", "_rng", "_np_rng")
 
     def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
         if capacity <= 0:
@@ -53,6 +68,7 @@ class Reservoir(Generic[T]):
         self._items: List[T] = []
         self._seen = 0
         self._rng = rng if rng is not None else random.Random()
+        self._np_rng = None
 
     @property
     def capacity(self) -> int:
@@ -97,6 +113,100 @@ class Reservoir(Generic[T]):
             self._items[j] = item
             return True
         return False
+
+    def offer_many(self, items: Sequence[T]) -> int:
+        """Offer a whole chunk of items; return how many entered the reservoir.
+
+        The chunk fast path of the vectorized sampling stack: instead of one
+        ``random()`` call (plus Python-level branching) per item, the
+        saturated regime draws skip counts with Vitter's Algorithm X — one
+        uniform draw per *accepted* item — or, for chunks of at least
+        ``_VECTOR_MIN`` items when NumPy is importable, a single vectorized
+        batch of draws.  Acceptance probabilities are identical to ``offer``
+        (``capacity / i`` for the *i*-th item ever seen), so the sample
+        distribution is unchanged; only the RNG call pattern differs.  A
+        one-item chunk delegates to ``offer`` so chunked and per-item
+        execution agree bit-for-bit at ``chunk_size=1``.
+        """
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        n = len(items)
+        if n == 0:
+            return 0
+        if n == 1:
+            return 1 if self.offer(items[0]) else 0
+        pos = 0
+        accepted = 0
+        free = self._capacity - len(self._items)
+        if free > 0:
+            # Fill phase: the first `capacity` items enter deterministically.
+            take = free if free < n else n
+            self._items.extend(items[:take])
+            self._seen += take
+            accepted += take
+            pos = take
+            if pos == n:
+                return accepted
+        if _np is not None and n - pos >= _VECTOR_MIN:
+            return accepted + self._accept_vectorized(items, pos)
+        return accepted + self._accept_skipping(items, pos)
+
+    def _accept_skipping(self, items: Sequence[T], pos: int) -> int:
+        """Saturated-regime chunk acceptance via Algorithm X skip counts.
+
+        Each iteration draws one uniform and advances directly to the next
+        accepted item; rejected items cost one multiply each instead of a
+        full RNG call.  Truncation at the chunk boundary is sound because
+        per-item acceptance events are independent Bernoulli(capacity/i)
+        trials.
+        """
+        rng_random = self._rng.random
+        rng_randrange = self._rng.randrange
+        cap = self._capacity
+        res = self._items
+        t = self._seen
+        n = len(items)
+        accepted = 0
+        while pos < n:
+            v = rng_random()
+            s = 0
+            # quot = P(next s+1 candidates are all rejected)
+            quot = (t + 1 - cap) / (t + 1)
+            while quot > v:
+                s += 1
+                if pos + s >= n:
+                    break
+                quot *= (t + s + 1 - cap) / (t + s + 1)
+            if pos + s >= n:
+                t += n - pos
+                pos = n
+                break
+            res[rng_randrange(cap)] = items[pos + s]
+            accepted += 1
+            t += s + 1
+            pos += s + 1
+        self._seen = t
+        return accepted
+
+    def _accept_vectorized(self, items: Sequence[T], pos: int) -> int:
+        """Saturated-regime chunk acceptance with one NumPy draw per chunk."""
+        if self._np_rng is None:
+            self._np_rng = _derive_generator(self._rng)
+        gen = self._np_rng
+        cap = self._capacity
+        t = self._seen
+        n = len(items) - pos
+        # Item t+j (1-based) is accepted iff U_j * (t+j) < capacity.
+        indices = _np.arange(t + 1, t + n + 1, dtype=_np.float64)
+        hits = _np.flatnonzero(gen.random(n) * indices < cap)
+        count = int(hits.size)
+        if count:
+            slots = gen.integers(0, cap, size=count)
+            res = self._items
+            for hit, slot in zip(hits.tolist(), slots.tolist()):
+                res[slot] = items[pos + hit]
+        self._seen = t + n
+        return count
 
     def extend(self, items: Iterable[T]) -> None:
         """Offer every item of ``items`` in order."""

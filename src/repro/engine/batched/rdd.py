@@ -142,6 +142,19 @@ class MiniRDD(Generic[T]):
     ) -> "MiniRDD[U]":
         return self._derive(lambda parts: [list(fn(p)) for p in parts])
 
+    def glom(self) -> "MiniRDD[List[T]]":
+        """Coalesce each partition into a single list element (Spark's glom).
+
+        This is how the batched engine exposes partitions as *chunks*: a
+        downstream map over a glommed RDD sees one list per partition and
+        can hand it to the vectorized chunk samplers
+        (`repro.core.oasrs.OASRSSampler.process_chunk` and friends) instead
+        of iterating item by item.
+        """
+        return self._derive(
+            lambda parts: [[list(p)] for p in parts], num_partitions=self.num_partitions
+        )
+
     def union(self, other: "MiniRDD[T]") -> "MiniRDD[T]":
         parent = self
 

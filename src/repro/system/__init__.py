@@ -6,6 +6,12 @@
 * `SparkSTSSystem` — improved baseline, Spark `sampleByKeyExact` per batch,
 * `NativeSparkSystem` / `NativeFlinkSystem` — no sampling.
 
+Beyond the paper's six, `NativeStreamApproxSystem` is this repo's own
+executor: OASRS directly over the stream with the vectorized chunk path
+and the real multi-process `ShardedExecutor` (``SystemConfig.chunk_size``
+/ ``parallelism``).  It is intentionally *not* part of ``ALL_SYSTEMS``,
+which enumerates exactly the paper's evaluated six.
+
 All share `StreamSystem.run(stream) → SystemReport` with per-pane
 estimates, error bounds, ground truth, accuracy loss, throughput and
 latency.
@@ -21,7 +27,7 @@ from .base import (
 )
 from .config import StreamQuery, SystemConfig, WindowConfig
 from .flink_approx import FlinkStreamApproxSystem
-from .native import NativeFlinkSystem, NativeSparkSystem
+from .native import NativeFlinkSystem, NativeSparkSystem, NativeStreamApproxSystem
 from .spark_approx import SparkStreamApproxSystem
 from .spark_srs import SparkSRSSystem
 from .spark_sts import SparkSTSSystem
@@ -40,6 +46,7 @@ __all__ = [
     "FlinkStreamApproxSystem",
     "NativeFlinkSystem",
     "NativeSparkSystem",
+    "NativeStreamApproxSystem",
     "SparkSRSSystem",
     "SparkSTSSystem",
     "SparkStreamApproxSystem",

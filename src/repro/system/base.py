@@ -40,7 +40,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class WindowResult:
-    """One sliding-window pane's output."""
+    """One sliding-window pane's output.
+
+    Pairs the system's approximate ``estimate`` (with its ±``error`` bound
+    and optional per-group values) with the ``exact`` ground truth computed
+    by re-executing the pane unsampled, from which ``accuracy_loss`` — the
+    paper's §6.1 metric — derives.
+
+    Example
+    -------
+    >>> pane = WindowResult(end=5.0, estimate=98.0, exact=100.0, error=None)
+    >>> round(pane.accuracy_loss, 3)
+    0.02
+    """
 
     end: float
     estimate: float
@@ -68,7 +80,20 @@ class WindowResult:
 
 @dataclass
 class SystemReport:
-    """Outcome of running one system over one input stream."""
+    """Outcome of running one system over one input stream.
+
+    Bundles the per-pane `WindowResult`s with the virtual seconds the
+    simulated cluster charged, from which the figure-level metrics —
+    ``throughput`` (items per virtual second), ``latency`` (Fig. 10), and
+    ``mean_accuracy_loss`` — are derived.
+
+    Example
+    -------
+    >>> report = SystemReport("demo", results=[], virtual_seconds=2.0,
+    ...                       items_total=1000)
+    >>> report.throughput
+    500.0
+    """
 
     system: str
     results: List[WindowResult]
@@ -161,7 +186,26 @@ def exact_panes(
 
 
 class StreamSystem:
-    """Base class for the six evaluated systems."""
+    """Base class for the evaluated systems.
+
+    Holds the (`StreamQuery`, `WindowConfig`, `SystemConfig`) triple and
+    drives ``run``: compute per-pane ground truth, call the subclass's
+    ``_execute`` over the timestamped stream, and join the two into a
+    `SystemReport`.  Subclasses implement ``_execute(stream) → (results,
+    cluster)`` only.
+
+    Example
+    -------
+    >>> class NullSystem(StreamSystem):
+    ...     name = "null"
+    ...     def _execute(self, stream):
+    ...         from ..engine.cluster import SimulatedCluster
+    ...         return [], SimulatedCluster()
+    >>> from repro import StreamQuery
+    >>> q = StreamQuery(key_fn=lambda it: it[0], value_fn=lambda it: it[1])
+    >>> NullSystem(q).run([]).items_total
+    0
+    """
 
     name = "abstract"
 

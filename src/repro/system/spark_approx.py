@@ -27,7 +27,23 @@ __all__ = ["SparkStreamApproxSystem"]
 
 
 class SparkStreamApproxSystem(BatchedSystem):
-    """Micro-batch pipeline with on-the-fly OASRS before RDD formation."""
+    """Micro-batch pipeline with on-the-fly OASRS before RDD formation.
+
+    Every arriving item pays one O(1) reservoir offer (chunked through
+    `OASRSSampler.process_chunk` when ``SystemConfig.chunk_size > 1``, with
+    RDD partitions as the default chunks); only *kept* items pay RDD
+    formation and query processing — no shuffle, sort, or barrier.
+
+    Example
+    -------
+    >>> from repro import StreamQuery, WindowConfig, SystemConfig
+    >>> q = StreamQuery(key_fn=lambda it: it[0], value_fn=lambda it: it[1])
+    >>> system = SparkStreamApproxSystem(
+    ...     q, WindowConfig(10, 5), SystemConfig(sampling_fraction=0.5))
+    >>> report = system.run([(t / 100.0, ("a", 1.0)) for t in range(1000)])
+    >>> round(report.results[0].estimate, 1)
+    1.0
+    """
 
     name = "spark-streamapprox"
 
@@ -54,7 +70,13 @@ class SparkStreamApproxSystem(BatchedSystem):
         self._ensure_sampler(len(items), strata_hint)
         # On-the-fly sampling: every arriving item is offered (O(1) each)...
         ctx.cluster.sample_items(len(items), "oasrs")
-        self._sampler.offer_many(items)
+        if self.config.chunk_size > 1:
+            # Chunked mode: the batch's RDD partitions become sampler chunks
+            # (or explicit chunk_size-item runs) through the vectorized path.
+            for chunk in ctx.chunks_of(items, self.config.chunk_size):
+                self._sampler.process_chunk(chunk)
+        else:
+            self._sampler.offer_many(items)
         sample = self._sampler.close_interval()
         kept = sample.all_items()
         # ...but only the kept items are turned into an RDD and processed.

@@ -36,7 +36,20 @@ def full_weight_sample(items: Sequence[object], key_fn) -> WeightedSample:
 
 
 class BatchedSystem(StreamSystem):
-    """Micro-batch skeleton; subclasses implement `_handle_batch`."""
+    """Micro-batch skeleton; subclasses implement `_handle_batch`.
+
+    Chops the stream into ``batch_interval`` micro-batches, calls
+    ``_handle_batch`` for each (which returns the batch's `WeightedSample`
+    and charges system-specific costs), and fires a sliding-window pane
+    every ``slide`` seconds by merging the in-window batch samples.
+
+    Example
+    -------
+    >>> class EchoSystem(BatchedSystem):
+    ...     name = "echo"
+    ...     def _handle_batch(self, ctx, items):
+    ...         return full_weight_sample(items, self.query.key_fn)
+    """
 
     def _make_context(self) -> StreamingContext:
         return StreamingContext(

@@ -27,7 +27,22 @@ _SRS_KEY = "__srs__"
 
 
 class SparkSRSSystem(BatchedSystem):
-    """Micro-batch pipeline with Spark's `sample` (ScaSRS) per batch."""
+    """Micro-batch pipeline with Spark's `sample` (ScaSRS) per batch.
+
+    Every micro-batch is materialised as a full RDD, uniformly sampled with
+    the pruned random sort, and only kept items are processed; the sample is
+    one unstratified pseudo-stratum, so rare sub-streams can vanish.
+
+    Example
+    -------
+    >>> from repro import StreamQuery, WindowConfig, SystemConfig
+    >>> q = StreamQuery(key_fn=lambda it: it[0], value_fn=lambda it: it[1])
+    >>> system = SparkSRSSystem(q, WindowConfig(10, 5),
+    ...                         SystemConfig(sampling_fraction=0.5))
+    >>> report = system.run([(t / 100.0, ("a", 1.0)) for t in range(1000)])
+    >>> round(report.results[0].estimate, 1)
+    1.0
+    """
 
     name = "spark-srs"
 

@@ -29,7 +29,22 @@ __all__ = ["SparkSTSSystem"]
 
 
 class SparkSTSSystem(BatchedSystem):
-    """Micro-batch pipeline with Spark's `sampleByKeyExact` per batch."""
+    """Micro-batch pipeline with Spark's `sampleByKeyExact` per batch.
+
+    Groups every micro-batch by stratum (full shuffle + barriers), then
+    keeps an exact ``sampling_fraction`` of each stratum — statistically
+    strong, structurally the slowest system in every throughput figure.
+
+    Example
+    -------
+    >>> from repro import StreamQuery, WindowConfig, SystemConfig
+    >>> q = StreamQuery(key_fn=lambda it: it[0], value_fn=lambda it: it[1])
+    >>> system = SparkSTSSystem(q, WindowConfig(10, 5),
+    ...                         SystemConfig(sampling_fraction=0.5))
+    >>> report = system.run([(t / 100.0, ("a", 1.0)) for t in range(1000)])
+    >>> round(report.results[0].estimate, 1)
+    1.0
+    """
 
     name = "spark-sts"
 
