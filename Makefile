@@ -1,22 +1,32 @@
 # Convenience targets for the StreamApprox reproduction.
 #
-#   make test    — the tier-1 verification suite (tests + figure benchmarks)
-#   make smoke   — fast end-to-end sanity run of examples/quickstart.py
-#   make bench   — only the figure-reproduction benchmarks
-#   make check   — test + smoke (what CI should run)
+#   make test       — the tier-1 verification suite (tests + figure benchmarks)
+#   make smoke      — fast end-to-end sanity run of examples/quickstart.py
+#   make bench      — only the figure-reproduction benchmarks
+#   make bench-json — benchmarks with machine-readable results for
+#                     trajectory tracking (benchmarks/results/bench.json)
+#   make check      — test + smoke (what CI runs on every push/PR)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test smoke bench check
+BENCH_JSON ?= benchmarks/results/bench.json
+
+.PHONY: test smoke bench bench-json check
+
+# Extra pytest flags, e.g. make check PYTEST_ARGS=--benchmark-json=out.json
+PYTEST_ARGS ?=
 
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(PYTEST_ARGS)
 
 smoke:
 	$(PYTHON) examples/quickstart.py
 
 bench:
 	$(PYTHON) -m pytest -x -q benchmarks/
+
+bench-json:
+	$(PYTHON) -m pytest -x -q benchmarks/ --benchmark-json=$(BENCH_JSON)
 
 check: test smoke

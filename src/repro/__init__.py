@@ -48,6 +48,18 @@ from .core import (
     estimate_error,
     oasrs_sample,
 )
+from .runtime import (
+    ExecutionPlan,
+    ListSource,
+    PlanError,
+    PlanSource,
+    SamplingStrategy,
+    TopicSource,
+    available_strategies,
+    build_plan,
+    execute_plan,
+    register_strategy,
+)
 from .system import (
     ALL_SYSTEMS,
     FlinkStreamApproxSystem,
@@ -71,14 +83,19 @@ __all__ = [
     "AdaptiveSampleSizeController",
     "DistributedOASRS",
     "ErrorBound",
+    "ExecutionPlan",
     "FixedPerStratum",
     "FlinkStreamApproxSystem",
     "LatencyBudget",
+    "ListSource",
     "NativeFlinkSystem",
     "NativeSparkSystem",
     "NativeStreamApproxSystem",
     "OASRSSampler",
+    "PlanError",
+    "PlanSource",
     "ResourceBudget",
+    "SamplingStrategy",
     "ShardedExecutor",
     "SparkSRSSystem",
     "SparkSTSSystem",
@@ -86,13 +103,18 @@ __all__ = [
     "StreamQuery",
     "SystemConfig",
     "SystemReport",
+    "TopicSource",
     "VirtualCostFunction",
     "WaterFillingAllocation",
     "WeightedSample",
     "WindowConfig",
     "approximate_mean",
     "approximate_sum",
+    "available_strategies",
+    "build_plan",
     "estimate_error",
+    "execute_plan",
     "oasrs_sample",
+    "register_strategy",
     "__version__",
 ]

@@ -24,12 +24,19 @@ __all__ = ["Record", "Partition", "Topic", "Broker"]
 
 @dataclass(frozen=True)
 class Record(Generic[T]):
-    """One timestamped record, as stored in a partition log."""
+    """One timestamped record, as stored in a partition log.
+
+    ``seq`` is the topic-global production sequence number (this broker is
+    a single in-memory node, so a total production order exists); consumers
+    use it to break ties between records sharing a timestamp, recovering
+    the exact production order across partitions.
+    """
 
     offset: int
     timestamp: float
     key: Optional[Hashable]
     value: T
+    seq: int = 0
 
 
 class Partition(Generic[T]):
@@ -39,9 +46,11 @@ class Partition(Generic[T]):
         self.index = index
         self._log: List[Record[T]] = []
 
-    def append(self, timestamp: float, key: Optional[Hashable], value: T) -> int:
+    def append(
+        self, timestamp: float, key: Optional[Hashable], value: T, seq: int = 0
+    ) -> int:
         offset = len(self._log)
-        self._log.append(Record(offset, timestamp, key, value))
+        self._log.append(Record(offset, timestamp, key, value, seq))
         return offset
 
     def fetch(self, offset: int, max_records: Optional[int] = None) -> List[Record[T]]:
@@ -69,6 +78,7 @@ class Topic(Generic[T]):
             Partition(i) for i in range(num_partitions)
         ]
         self._round_robin = 0
+        self._seq = 0
 
     def partition_for(self, key: Optional[Hashable]) -> Partition[T]:
         if key is None:
@@ -78,7 +88,9 @@ class Topic(Generic[T]):
         return self.partitions[hash(key) % len(self.partitions)]
 
     def append(self, timestamp: float, key: Optional[Hashable], value: T) -> int:
-        return self.partition_for(key).append(timestamp, key, value)
+        seq = self._seq
+        self._seq += 1
+        return self.partition_for(key).append(timestamp, key, value, seq)
 
     @property
     def total_records(self) -> int:

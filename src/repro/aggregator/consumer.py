@@ -33,25 +33,31 @@ class Consumer(Generic[T]):
         )
 
     def poll(self, max_records: Optional[int] = None) -> List[Record[T]]:
-        """Fetch up to ``max_records`` new records, merged by timestamp."""
-        heap: List[Tuple[float, int, int, Record[T]]] = []
+        """Fetch up to ``max_records`` new records, merged by timestamp.
+
+        Ties on the timestamp break on the record's topic-global production
+        sequence number, so the merged stream is the production order even
+        when timestamps collide across partitions.
+        """
+        heap: List[Tuple[float, int, int, int, Record[T]]] = []
         fetched: List[List[Record[T]]] = []
         for i, partition in enumerate(self._topic.partitions):
             records = partition.fetch(self._offsets[i], max_records)
             fetched.append(records)
             if records:
-                heapq.heappush(heap, (records[0].timestamp, i, 0, records[0]))
+                first = records[0]
+                heapq.heappush(heap, (first.timestamp, first.seq, i, 0, first))
 
         out: List[Record[T]] = []
         cursors = [0] * len(fetched)
         while heap and (max_records is None or len(out) < max_records):
-            _ts, i, j, record = heapq.heappop(heap)
+            _ts, _seq, i, j, record = heapq.heappop(heap)
             out.append(record)
             self._offsets[i] = record.offset + 1
             cursors[i] = j + 1
             if cursors[i] < len(fetched[i]):
                 nxt = fetched[i][cursors[i]]
-                heapq.heappush(heap, (nxt.timestamp, i, cursors[i], nxt))
+                heapq.heappush(heap, (nxt.timestamp, nxt.seq, i, cursors[i], nxt))
         return out
 
     def stream(self) -> Iterator[Tuple[float, T]]:

@@ -79,6 +79,10 @@ class ConsumerGroup(Generic[T]):
             self._offsets[index] = records[-1].offset + 1
         return records
 
+    def seek_to_beginning(self) -> None:
+        """Reset the group's committed offsets to the start of every partition."""
+        self._offsets = {p.index: 0 for p in self._topic.partitions}
+
     def lag(self) -> int:
         """Records not yet delivered to this group."""
         return sum(
@@ -110,7 +114,7 @@ class GroupMember(Generic[T]):
                 remaining -= len(records)
                 if remaining <= 0:
                     break
-        out.sort(key=lambda r: r.timestamp)
+        out.sort(key=lambda r: (r.timestamp, r.seq))
         return out
 
     def close(self) -> None:

@@ -17,7 +17,13 @@ Subcommands:
   table and an ASCII line chart.
 
 ``--chunk-size K`` routes items through the vectorized chunk path and
-``--parallelism N`` shards supported systems over N real processes.
+``--parallelism N`` shards interval sampling over N real processes; both
+apply to *every* system through the unified runtime.  Combinations the
+planner cannot support (e.g. ``--parallelism`` with ``spark-srs``, whose
+sampling needs the whole batch) exit with a clear error instead of being
+silently ignored.  ``--via-broker`` replays the workload through the
+in-memory Kafka-style aggregator first and feeds every system from a
+consumer group over the topic's partitions.
 
 The CLI is a thin veneer over the same public API the benchmarks use; it
 exists so a fresh checkout can produce paper-shaped numbers in one line.
@@ -29,8 +35,11 @@ import argparse
 import sys
 from typing import Dict, List
 
+from .aggregator.broker import Broker
+from .aggregator.producer import Producer
 from .metrics.ascii_chart import bar_chart, line_chart
 from .metrics.collector import ExperimentCollector
+from .runtime import PlanError, TopicSource
 from .system import (
     ALL_SYSTEMS,
     NativeStreamApproxSystem,
@@ -80,6 +89,21 @@ def make_workload(name: str, rate: float, duration: float, seed: int):
     return stream, query
 
 
+def _broker_with_stream(stream, query, partitions: int) -> Broker:
+    """Replay an in-memory stream into a fresh aggregator topic.
+
+    Records are keyed by the query's stratum key, so each sub-stream stays
+    ordered within its partition — the Figure 1 ingestion shape.
+    """
+    broker: Broker = Broker()
+    broker.create_topic("cli-input", num_partitions=partitions)
+    producer: Producer = Producer(broker, "cli-input")
+    key_fn = query.key_fn
+    for timestamp, item in stream:
+        producer.send(timestamp, item, key=key_fn(item))
+    return broker
+
+
 def _run_systems(
     names: List[str],
     stream,
@@ -88,6 +112,8 @@ def _run_systems(
     window: WindowConfig,
     chunk_size: int = 0,
     parallelism: int = 1,
+    broker=None,
+    broker_members: int = 2,
 ) -> Dict[str, object]:
     reports = {}
     for name in names:
@@ -97,25 +123,43 @@ def _run_systems(
             chunk_size=chunk_size,
             parallelism=parallelism,
         )
-        reports[name] = cls(query, window, config).run(stream)
+        if broker is not None:
+            # rewind (the default) re-reads the whole topic per run, so one
+            # group per system is safe across sweep fractions.
+            source = TopicSource(
+                broker, "cli-input", group_id=f"cli-{name}", members=broker_members
+            )
+        else:
+            source = stream
+        reports[name] = cls(query, window, config).run(source)
     return reports
 
 
 def cmd_systems(_args) -> int:
-    print("available systems:")
+    print("available systems (engine/strategy):")
     for name, cls in _CLI_SYSTEMS.items():
         doc = (cls.__doc__ or "").strip().splitlines()[0]
-        print(f"  {name:22s} {doc}")
+        print(f"  {name:22s} [{cls.engine}/{cls.strategy}] {doc}")
     return 0
 
 
 def cmd_compare(args) -> int:
     stream, query = make_workload(args.workload, args.rate, args.duration, args.seed)
     window = WindowConfig(args.window, args.slide)
-    reports = _run_systems(
-        args.systems, stream, query, args.fraction, window,
-        chunk_size=args.chunk_size, parallelism=args.parallelism,
+    broker = (
+        _broker_with_stream(stream, query, args.broker_partitions)
+        if args.via_broker
+        else None
     )
+    try:
+        reports = _run_systems(
+            args.systems, stream, query, args.fraction, window,
+            chunk_size=args.chunk_size, parallelism=args.parallelism,
+            broker=broker, broker_members=args.broker_members,
+        )
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     print(f"workload={args.workload} items={len(stream):,} fraction={args.fraction}\n")
     print(f"{'system':>22} {'items/s':>12} {'loss':>9} {'latency(s)':>11}")
@@ -135,21 +179,25 @@ def cmd_compare(args) -> int:
 def cmd_sweep(args) -> int:
     stream, query = make_workload(args.workload, args.rate, args.duration, args.seed)
     window = WindowConfig(args.window, args.slide)
+    broker = (
+        _broker_with_stream(stream, query, args.broker_partitions)
+        if args.via_broker
+        else None
+    )
     collector = ExperimentCollector(f"sweep_{args.workload}")
-    for fraction in args.fractions:
-        for name in args.systems:
-            if name in _UNSAMPLED:
-                continue
-            report = _CLI_SYSTEMS[name](
-                query,
-                window,
-                SystemConfig(
-                    sampling_fraction=fraction,
-                    chunk_size=args.chunk_size,
-                    parallelism=args.parallelism,
-                ),
-            ).run(stream)
-            collector.record(fraction, report)
+    try:
+        for fraction in args.fractions:
+            sampled = [name for name in args.systems if name not in _UNSAMPLED]
+            reports = _run_systems(
+                sampled, stream, query, fraction, window,
+                chunk_size=args.chunk_size, parallelism=args.parallelism,
+                broker=broker, broker_members=args.broker_members,
+            )
+            for report in reports.values():
+                collector.record(fraction, report)
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     print(collector.table(args.metric))
     series = {
@@ -183,9 +231,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--systems", nargs="+", choices=list(_CLI_SYSTEMS),
                        default=_DEFAULT_SYSTEMS)
         p.add_argument("--chunk-size", type=int, default=0, dest="chunk_size",
-                       help="vectorized chunk size (0 = per-item execution)")
+                       help="vectorized chunk size, honoured by every system "
+                            "(0 = per-item execution)")
         p.add_argument("--parallelism", type=int, default=1,
-                       help="real worker processes for the sharded executor")
+                       help="real worker processes for interval sampling "
+                            "(OASRS-based systems; others reject it)")
+        p.add_argument("--via-broker", action="store_true", dest="via_broker",
+                       help="replay the workload through the in-memory "
+                            "aggregator and feed systems from a consumer group")
+        p.add_argument("--broker-partitions", type=int, default=4,
+                       dest="broker_partitions",
+                       help="topic partitions when --via-broker is set")
+        p.add_argument("--broker-members", type=int, default=2,
+                       dest="broker_members",
+                       help="consumer-group members when --via-broker is set")
 
     compare = sub.add_parser("compare", help="run systems at one fraction")
     add_common(compare)

@@ -36,7 +36,7 @@ from .strata import StratumSample, WeightedSample, combine_worker_samples, strat
 
 T = TypeVar("T")
 
-__all__ = ["DistributedOASRS", "ShardedExecutor"]
+__all__ = ["DistributedOASRS", "ShardedExecutor", "ShardedIntervalSampler"]
 
 
 class _ScaledPolicy(AllocationPolicy):
@@ -186,6 +186,59 @@ class ShardedExecutor(Generic[T]):
                 StratumSample(key, tuple(kept), count, stratum_weight(count, len(kept)))
             )
         return sample
+
+
+class ShardedIntervalSampler(Generic[T]):
+    """Adapt a `ShardedExecutor` to the interval-sampler duck type.
+
+    The pipelined sampling operator and the direct engine's interval loop
+    drive samplers through ``offer`` / ``process_chunk`` /
+    ``close_interval``.  This adapter buffers the interval's items and, at
+    interval close, fans the whole buffer out across the executor's worker
+    processes in one ``run`` — so ``SystemConfig.parallelism`` applies to
+    interval sampling on every engine, not just the direct executor.
+
+    Example
+    -------
+    >>> from repro.core.oasrs import FixedPerStratum
+    >>> sharded = ShardedIntervalSampler(
+    ...     ShardedExecutor(2, FixedPerStratum(4), key_fn=lambda it: it[0], seed=1))
+    >>> sharded.process_chunk([("a", i) for i in range(100)])
+    >>> sharded.close_interval()["a"].count
+    100
+    """
+
+    def __init__(self, executor: ShardedExecutor[T]) -> None:
+        self._executor = executor
+        self._buffer: List[T] = []
+
+    def offer(self, item: T) -> None:
+        self._buffer.append(item)
+
+    def offer_many(self, items: Iterable[T]) -> None:
+        self._buffer.extend(items)
+
+    def process_chunk(self, items: Sequence[T]) -> None:
+        self._buffer.extend(items)
+
+    def close_interval(self) -> WeightedSample[T]:
+        items, self._buffer = self._buffer, []
+        return self._executor.run(items)
+
+    def run_interval(self, items: Sequence[T]) -> WeightedSample[T]:
+        """Sample one whole interval in a single executor call.
+
+        Drivers that already hold the interval's items as a list (the
+        direct engine) use this to skip the offer/close buffering — no
+        per-item Python call, no buffer copy — exactly the
+        `ShardedExecutor.run` hot path.  Any previously buffered items are
+        prepended so mixed use stays correct.
+        """
+        if self._buffer:
+            buffered, self._buffer = self._buffer, []
+            buffered.extend(items)
+            items = buffered
+        return self._executor.run(items)
 
 
 class DistributedOASRS(Generic[T]):

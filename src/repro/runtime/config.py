@@ -1,0 +1,158 @@
+"""Configuration types the planner builds an `ExecutionPlan` from.
+
+A run is described by three pieces:
+
+* `StreamQuery` — what to compute: the stratum key function (the
+  sub-stream source of §2.3), the numeric value per item, the aggregation
+  kind (``sum`` or ``mean``; the linear queries of §3.2), and optionally a
+  group function for per-group outputs (the case-study queries),
+* `WindowConfig` — the sliding-window computation (§2.2),
+* `SystemConfig` — deployment shape (nodes, cores, batch interval) and the
+  sampling fraction (the output of the virtual cost function; benches sweep
+  it directly, examples derive it from a budget via `repro.core.budget`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from ..engine.costs import CostProfile
+
+__all__ = ["StreamQuery", "WindowConfig", "SystemConfig"]
+
+
+@dataclass(frozen=True)
+class StreamQuery:
+    """A linear streaming query over a stratified input stream.
+
+    Bundles the paper's per-query callables: ``key_fn`` maps an item to its
+    sub-stream source (the stratum, §2.3), ``value_fn`` extracts the number
+    being aggregated, ``kind`` picks the linear aggregate, and ``group_fn``
+    optionally splits the output per group (the case-study queries).
+
+    Example
+    -------
+    >>> q = StreamQuery(key_fn=lambda it: it[0], value_fn=lambda it: it[1],
+    ...                 kind="mean", name="window-mean")
+    >>> q.key_fn(("A", 3.5)), q.value_fn(("A", 3.5))
+    ('A', 3.5)
+    """
+
+    key_fn: Callable[[object], Hashable]
+    value_fn: Callable[[object], float]
+    kind: str = "mean"  # "mean" | "sum"
+    group_fn: Optional[Callable[[object], Hashable]] = None
+    name: str = "query"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mean", "sum"):
+            raise ValueError(f"query kind must be 'mean' or 'sum', got {self.kind!r}")
+        if not callable(self.key_fn):
+            raise ValueError("key_fn must be callable (item -> stratum key)")
+        if not callable(self.value_fn):
+            raise ValueError("value_fn must be callable (item -> numeric value)")
+        if self.group_fn is not None and not callable(self.group_fn):
+            raise ValueError("group_fn must be callable (item -> group) when given")
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Sliding-window parameters; the paper defaults to w=10 s, δ=5 s.
+
+    A window of ``length`` seconds is evaluated every ``slide`` seconds;
+    the length must be a whole multiple of the slide so each pane is an
+    exact union of slide-sized intervals.
+
+    Example
+    -------
+    >>> WindowConfig(length=10.0, slide=5.0).intervals_per_window
+    2
+    """
+
+    length: float = 10.0
+    slide: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.slide <= 0:
+            raise ValueError(
+                f"window length and slide must be positive, got "
+                f"length={self.length}, slide={self.slide}"
+            )
+        if self.slide > self.length:
+            raise ValueError(
+                f"slide ({self.slide}) larger than the window ({self.length}) "
+                "would drop items"
+            )
+        ratio = self.length / self.slide
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError(
+                f"window length ({self.length}) must be a whole multiple of "
+                f"the slide ({self.slide}) so each pane is an exact union of "
+                "slide-sized intervals"
+            )
+
+    @property
+    def intervals_per_window(self) -> int:
+        return int(round(self.length / self.slide))
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Deployment shape + sampling fraction for one run.
+
+    ``nodes``/``cores_per_node`` describe the *simulated* cluster the cost
+    model charges against; ``chunk_size`` and ``parallelism`` control the
+    *real* execution fast paths introduced with the vectorized sampling
+    stack:
+
+    * ``chunk_size = K`` (``K >= 2``) routes items through the chunked
+      sampler APIs (`OASRSSampler.process_chunk`, the vectorized SRS/STS
+      chunk samplers, the pipelined ``on_chunk`` operators) in runs of
+      ``K`` — statistically equivalent to the per-item path, several
+      times faster.  ``0`` (default) keeps the legacy item-at-a-time
+      execution.  Honoured by every system through the unified runtime.
+    * ``parallelism = N`` (``N >= 2``) shards each sampling interval over
+      ``N`` real worker processes via
+      `repro.core.distributed.ShardedExecutor`.  Supported by every
+      OASRS-based system (spark/flink/native StreamApprox); the planner
+      raises `repro.runtime.plan.PlanError` for strategies that cannot
+      shard without synchronization (srs, sts, none).
+
+    Example
+    -------
+    >>> cfg = SystemConfig(sampling_fraction=0.4, chunk_size=256, parallelism=4)
+    >>> cfg.chunk_size, cfg.parallelism
+    (256, 4)
+    """
+
+    sampling_fraction: float = 0.6
+    batch_interval: float = 1.0
+    nodes: int = 1
+    cores_per_node: int = 8
+    seed: int = 42
+    confidence: float = 0.95
+    chunk_size: int = 0
+    parallelism: int = 1
+    #: Optional override of the simulated cluster's calibrated cost
+    #: constants (`repro.engine.costs.DEFAULT_COSTS`); the robustness
+    #: tests perturb these to check the figure orderings are structural.
+    costs: Optional[CostProfile] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sampling_fraction <= 1:
+            raise ValueError(
+                f"sampling_fraction must be in (0, 1], got {self.sampling_fraction}"
+            )
+        if self.batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        if self.nodes <= 0 or self.cores_per_node <= 0:
+            raise ValueError("nodes and cores_per_node must be positive")
+        if not 0 < self.confidence < 1:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.chunk_size < 0:
+            raise ValueError(f"chunk_size must be non-negative, got {self.chunk_size}")
+        if self.parallelism < 1:
+            raise ValueError(f"parallelism must be at least 1, got {self.parallelism}")

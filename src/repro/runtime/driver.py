@@ -1,0 +1,406 @@
+"""The unified driver — one run loop per engine, shared by every system.
+
+`execute_plan` takes a validated `ExecutionPlan` and runs it end to end:
+drain the plan's source, window the stream, drive the bound sampling
+strategy, estimate each pane, and return ``(results, cluster)``.  Before
+the runtime existed, each of the seven ``repro.system`` classes carried
+its own copy of this loop; they are now thin declarative configs and the
+three loops below are the only ones in the codebase:
+
+* `run_batched` — micro-batch skeleton (§5.5): chop the stream into
+  ``batch_interval`` batches, call the strategy's ``sample_batch`` for
+  each, fire a sliding-window pane every ``slide`` seconds by merging the
+  in-window batch samples.
+* `run_pipelined` — push-based dataflow: items flow through operators one
+  at a time (or in ``chunk_size`` runs); interval-sampling strategies
+  insert the OASRS operator (§4.2.2), ``none`` aggregates exact panes.
+* `run_direct` — this repo's own executor: the sampling stack straight
+  over slide-sized intervals with no engine simulation in the hot loop,
+  pooling per-interval sufficient statistics into pane estimates.
+
+``chunk_size`` and ``parallelism`` are honoured uniformly: the planner
+has already rejected combinations the strategy cannot support, so every
+loop here can assume its plan is runnable.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_left
+from collections import deque
+from operator import itemgetter
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core._vector import np as _np
+from ..core.error import estimate_error
+from ..core.query import QueryResult, StratumStats
+from ..core.strata import WeightedSample, combine_worker_samples, stratum_weight
+from ..engine.batched.context import StreamingContext
+from ..engine.cluster import SimulatedCluster
+from ..engine.pipelined.dataflow import Pipeline
+from .plan import ExecutionPlan, PlanError
+from .report import WindowResult, estimate_pane
+from .strategies import full_weight_sample, get_strategy
+
+__all__ = ["execute_plan", "run_batched", "run_pipelined", "run_direct"]
+
+HandleBatch = Callable[[StreamingContext, Sequence[object]], WeightedSample]
+
+#: Items scanned to estimate the stratum count for the first interval's
+#: budget split — a prefix only, because scanning every item of a large
+#: stream just to count sources would dominate the hot loop.
+_STRATA_HINT_PREFIX = 20_000
+
+
+def _interval_budget(stream, window, config) -> int:
+    """Per-slide-interval sample budget for the interval engines.
+
+    fraction × expected items per slide, estimated from the stream's
+    average arrival rate — shared by the pipelined and direct engines so
+    the same `SystemConfig` always samples at the same fraction.
+    """
+    if stream:
+        duration = max(stream[-1][0] - stream[0][0], window.slide)
+        per_slide = len(stream) * window.slide / duration
+    else:
+        per_slide = 1.0
+    return max(1, int(config.sampling_fraction * per_slide))
+
+
+def _strata_hint(stream, key_fn) -> int:
+    """Stratum-count hint from a bounded prefix of the stream.
+
+    Only seeds the *first* interval's equal split (§2.3: the sub-stream
+    sources are declared at the aggregator); water-filling re-derives
+    capacities from real counters at every interval close, so a stratum
+    first appearing after the prefix merely shares the first interval's
+    budget one way rather than another.  (The pre-runtime pipelined system
+    scanned the whole stream for this hint; the cap trades that O(n) pass
+    for first-interval-only hint noise on >20k-item streams.)
+    """
+    return max(
+        1, len({key_fn(item) for _ts, item in stream[:_STRATA_HINT_PREFIX]})
+    )
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    handle_batch: Optional[HandleBatch] = None,
+) -> Tuple[List[WindowResult], SimulatedCluster]:
+    """Run a plan on its engine; returns (pane results, charged cluster).
+
+    ``handle_batch`` overrides the batched engine's per-batch sampling
+    hook — the extension point `repro.system.spark_base.BatchedSystem`
+    uses for ad-hoc experimental systems.
+    """
+    if plan.engine == "batched":
+        return run_batched(plan, handle_batch=handle_batch)
+    if handle_batch is not None:
+        raise PlanError("handle_batch overrides only apply to the batched engine")
+    if plan.engine == "pipelined":
+        return run_pipelined(plan)
+    if plan.engine == "direct":
+        results, cluster, _sampling_seconds = run_direct(plan)
+        return results, cluster
+    raise PlanError(f"unknown engine {plan.engine!r}")
+
+
+# ---------------------------------------------------------------------------
+# Batched engine (Spark-Streaming-style micro-batches)
+# ---------------------------------------------------------------------------
+
+
+def run_batched(
+    plan: ExecutionPlan,
+    handle_batch: Optional[HandleBatch] = None,
+) -> Tuple[List[WindowResult], SimulatedCluster]:
+    """Micro-batch loop: per-batch sampling, per-slide pane estimation."""
+    stream = plan.source.events()
+    config, window, query = plan.config, plan.window, plan.query
+    ctx = StreamingContext(
+        batch_interval=config.batch_interval,
+        nodes=config.nodes,
+        cores_per_node=config.cores_per_node,
+        costs=config.costs,
+    )
+    if handle_batch is None:
+        handle_batch = get_strategy(plan.strategy).bind(plan).sample_batch
+    batcher = ctx.batcher()
+    per_slide = int(round(window.slide / config.batch_interval))
+    per_window = int(round(window.length / config.batch_interval))
+
+    history: List[WeightedSample] = []
+    results: List[WindowResult] = []
+    for batch in batcher.batches(stream):
+        history.append(handle_batch(ctx, batch.items))
+        if len(history) > per_window:
+            del history[: len(history) - per_window]
+        if (batch.index + 1) % per_slide == 0:
+            pane_sample = combine_worker_samples(history[-per_window:])
+            estimate, bound, groups = estimate_pane(
+                pane_sample, query, config.confidence
+            )
+            results.append(
+                WindowResult(
+                    end=batch.end,
+                    estimate=estimate,
+                    exact=None,
+                    error=bound,
+                    groups=groups,
+                    sampled_items=pane_sample.total_items,
+                    total_items=pane_sample.total_count,
+                )
+            )
+    return results, ctx.cluster
+
+
+# ---------------------------------------------------------------------------
+# Pipelined engine (Flink-style push-based operators)
+# ---------------------------------------------------------------------------
+
+
+def run_pipelined(plan: ExecutionPlan) -> Tuple[List[WindowResult], SimulatedCluster]:
+    """Operator pipeline: per-item (or chunked) flow, panes at watermarks."""
+    stream = plan.source.events()
+    config, window, query = plan.config, plan.window, plan.query
+    cluster = SimulatedCluster(
+        nodes=config.nodes, cores_per_node=config.cores_per_node, costs=config.costs
+    )
+    confidence = config.confidence
+    bound_strategy = get_strategy(plan.strategy).bind(plan)
+
+    if bound_strategy.samples_intervals:
+        # §2.3: sub-stream sources are declared at the aggregator; give the
+        # allocator the stratum count so the first interval splits fairly.
+        sampler = bound_strategy.interval_sampler(
+            _interval_budget(stream, window, config),
+            _strata_hint(stream, query.key_fn) if stream else 1,
+        )
+
+        def aggregate_samples(merged):
+            estimate, bound, groups = estimate_pane(merged, query, confidence)
+            return estimate, bound, groups, merged.total_items, merged.total_count
+
+        raw = (
+            Pipeline(cluster)
+            .sample_oasrs(sampler, slide=window.slide)
+            .charge(count_fn=lambda sample: sample.total_items)
+            .window_samples(
+                intervals_per_window=window.intervals_per_window,
+                aggregate=aggregate_samples,
+                charge_processing=False,
+            )
+            .sink_collect()
+            .run(stream, chunk_size=config.chunk_size)
+        )
+        records = [
+            (ts, estimate, bound, groups, kept, total)
+            for ts, (estimate, bound, groups, kept, total) in raw
+        ]
+    else:
+
+        def aggregate_exact(pane_items):
+            sample = full_weight_sample([item for _ts, item in pane_items], query.key_fn)
+            estimate, bound, groups = estimate_pane(sample, query, confidence)
+            return estimate, bound, groups, sample.total_items
+
+        raw = (
+            Pipeline(cluster)
+            .charge()  # per-item query processing, charged exactly once
+            .window(
+                length=window.length,
+                slide=window.slide,
+                aggregate=aggregate_exact,
+                charge_processing=False,
+            )
+            .sink_collect()
+            .run(stream, chunk_size=config.chunk_size)
+        )
+        records = [
+            (ts, estimate, bound, groups, n, n)
+            for ts, (estimate, bound, groups, n) in raw
+        ]
+
+    # Drop the end-of-stream flush pane (it covers a partial interval beyond
+    # the last watermark); the batched engine emits no such pane, so keeping
+    # it would skew cross-system accuracy comparisons.
+    last_ts = stream[-1][0] if stream else 0.0
+    results: List[WindowResult] = []
+    for ts, estimate, bound, groups, kept, total in records:
+        if ts > last_ts:
+            continue
+        results.append(
+            WindowResult(
+                end=ts,
+                estimate=estimate,
+                exact=None,
+                error=bound,
+                groups=groups,
+                sampled_items=kept,
+                total_items=total,
+            )
+        )
+    return results, cluster
+
+
+# ---------------------------------------------------------------------------
+# Direct engine (the repo's own chunked/sharded executor)
+# ---------------------------------------------------------------------------
+
+
+def _interval_moments(sample, value_fn):
+    """Per-stratum sufficient statistics (y, c, Σv, Σv²) of one interval.
+
+    Computed once when the interval closes; panes pool these instead of
+    re-scanning every sampled item per pane — batch-level accounting in the
+    estimation layer, matching the chunk-level accounting in the samplers.
+    """
+    moments = []
+    for stratum in sample:
+        items = stratum.items
+        y = len(items)
+        if y == 0:
+            continue
+        if _np is not None and y >= 1024:
+            array = _np.asarray([value_fn(x) for x in items], dtype=_np.float64)
+            total = float(array.sum())
+            sumsq = float(_np.dot(array, array))
+        else:
+            values = [value_fn(x) for x in items]
+            total = math.fsum(values)
+            sumsq = math.fsum(v * v for v in values)
+        moments.append((stratum.key, y, stratum.count, total, sumsq))
+    return moments
+
+
+def _pane_stats(moment_sets) -> List[StratumStats]:
+    """Pool interval moments into the pane's per-stratum `StratumStats`.
+
+    Counts and sums add across intervals; the pooled unbiased variance
+    comes from the summed squares (Equation 7 on the concatenated sample),
+    and the pooled Equation-1 weight re-derives as ΣC / ΣY — algebraically
+    identical to merging the samples and recomputing.
+    """
+    pooled = {}
+    for moments in moment_sets:
+        for key, y, c, total, sumsq in moments:
+            if key in pooled:
+                py, pc, pt, ps = pooled[key]
+                pooled[key] = (py + y, pc + c, pt + total, ps + sumsq)
+            else:
+                pooled[key] = (y, c, total, sumsq)
+    strata = []
+    for key, (y, c, total, sumsq) in pooled.items():
+        mean = total / y if y else 0.0
+        variance = (
+            max(0.0, (sumsq - y * mean * mean) / (y - 1)) if y > 1 else 0.0
+        )
+        strata.append(
+            StratumStats(
+                key=key, y=y, c=c, weight=stratum_weight(c, y),
+                total=total, mean=mean, variance=variance,
+            )
+        )
+    return strata
+
+
+def run_direct(
+    plan: ExecutionPlan,
+) -> Tuple[List[WindowResult], SimulatedCluster, float]:
+    """Interval loop over the raw sampling stack; no engine in the hot path.
+
+    Returns ``(results, cluster, sampling_seconds)`` where the last element
+    is the wall time spent inside the sampling path itself (the
+    offer/process_chunk/shard section) — the number the chunked and sharded
+    fast paths improve, reported by
+    `repro.system.native.NativeStreamApproxSystem.timed_execute`.
+    """
+    stream = plan.source.events()
+    config, window, query = plan.config, plan.window, plan.query
+    cluster = SimulatedCluster(
+        nodes=config.nodes, cores_per_node=config.cores_per_node, costs=config.costs
+    )
+    results: List[WindowResult] = []
+    if not stream:
+        return results, cluster, 0.0
+    # Per-interval budget shared with the pipelined engine, with the
+    # declared strata splitting the first interval's allocation.
+    sampler = get_strategy(plan.strategy).bind(plan).interval_sampler(
+        _interval_budget(stream, window, config), _strata_hint(stream, query.key_fn)
+    )
+    # Sharded samplers expose a whole-interval entry point; use it to skip
+    # the per-item offer buffering (the executor chunks internally).
+    run_interval = getattr(sampler, "run_interval", None)
+
+    chunk = config.chunk_size
+    history = deque(maxlen=window.intervals_per_window)
+    sampling_seconds = 0.0
+    # Slide-interval boundaries via bisection on the (ordered) timestamps
+    # instead of a per-item batching loop; pane ends match `Batcher`'s
+    # (every slide multiple, items with ts == boundary go to the next
+    # interval, final partial interval keeps its nominal end).
+    n = len(stream)
+    slide = window.slide
+    timestamp_of = itemgetter(0)
+    start_idx = 0
+    boundary = slide
+    while start_idx < n:
+        end_idx = bisect_left(stream, boundary, lo=start_idx, key=timestamp_of)
+        items = [item for _ts, item in stream[start_idx:end_idx]]
+        start_idx = end_idx
+        pane_end = boundary
+        boundary += slide
+        cluster.sample_items(len(items), "oasrs")
+        sampling_started = time.perf_counter()
+        if run_interval is not None:
+            sample = run_interval(items)
+        elif chunk > 1 and len(items) > 1:
+            process_chunk = sampler.process_chunk
+            for start in range(0, len(items), chunk):
+                process_chunk(items[start : start + chunk])
+            sample = sampler.close_interval()
+        else:
+            offer = sampler.offer
+            for item in items:
+                offer(item)
+            sample = sampler.close_interval()
+        sampling_seconds += time.perf_counter() - sampling_started
+        cluster.process_items(sample.total_items)
+        if query.group_fn is None:
+            # Moment path: pool per-interval sufficient statistics — no
+            # per-pane re-scan of the sampled items.
+            history.append(_interval_moments(sample, query.value_fn))
+            strata = _pane_stats(history)
+            population = sum(s.c for s in strata)
+            weighted_total = math.fsum(s.total * s.weight for s in strata)
+            if query.kind == "sum":
+                value = weighted_total
+            else:
+                value = weighted_total / population if population else 0.0
+            bound = estimate_error(
+                QueryResult(value=value, strata=strata, kind=query.kind),
+                confidence=config.confidence,
+            )
+            groups = {}
+            sampled = sum(s.y for s in strata)
+        else:
+            # Grouped queries need the items themselves: merge samples
+            # and evaluate through the shared estimation path.
+            history.append(sample)
+            merged = combine_worker_samples(list(history))
+            value, bound, groups = estimate_pane(merged, query, config.confidence)
+            population = merged.total_count
+            sampled = merged.total_items
+        results.append(
+            WindowResult(
+                end=pane_end,
+                estimate=value,
+                exact=None,
+                error=bound,
+                groups=groups,
+                sampled_items=sampled,
+                total_items=population,
+            )
+        )
+    return results, cluster, sampling_seconds

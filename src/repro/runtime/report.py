@@ -1,0 +1,216 @@
+"""Result types and the shared estimation stage of the execution runtime.
+
+Every `ExecutionPlan` ends in the same estimator → report tail: per pane,
+the plan's sampling stage hands a `repro.core.strata.WeightedSample` (or
+pooled per-stratum moments) to `estimate_pane`, and the driver assembles
+`WindowResult`s into one `SystemReport` joined against the ground truth of
+`exact_panes`.  Before the unified runtime each ``system/*.py`` carried its
+own copy of this tail; it now lives here exactly once.
+
+* `WindowResult` — one pane: approximate output, ±error bound (§3.3), the
+  exact (unsampled) ground truth for the same pane, and the achieved
+  accuracy loss ``|approx − exact| / exact`` (the paper's §6.1 metric),
+* `SystemReport` — the run: per-pane results plus the virtual seconds
+  consumed on the `SimulatedCluster`, hence throughput (items/second) and
+  dataset-processing latency (Fig. 10).
+
+Ground truth is computed outside the cost model — it is measurement
+apparatus, not part of the evaluated system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.error import ErrorBound, estimate_error
+from ..core.query import approximate_mean, approximate_sum, grouped_mean, grouped_sum
+from ..core.strata import WeightedSample
+from ..engine.batched.dstream import Batcher, SlidingWindower
+from .config import StreamQuery, WindowConfig
+
+__all__ = [
+    "WindowResult",
+    "SystemReport",
+    "estimate_pane",
+    "exact_panes",
+    "accuracy_loss",
+    "join_ground_truth",
+]
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One sliding-window pane's output.
+
+    Pairs the system's approximate ``estimate`` (with its ±``error`` bound
+    and optional per-group values) with the ``exact`` ground truth computed
+    by re-executing the pane unsampled, from which ``accuracy_loss`` — the
+    paper's §6.1 metric — derives.
+
+    Example
+    -------
+    >>> pane = WindowResult(end=5.0, estimate=98.0, exact=100.0, error=None)
+    >>> round(pane.accuracy_loss, 3)
+    0.02
+    """
+
+    end: float
+    estimate: float
+    exact: Optional[float]
+    error: Optional[ErrorBound]
+    groups: Dict[Hashable, float] = field(default_factory=dict)
+    exact_groups: Dict[Hashable, float] = field(default_factory=dict)
+    sampled_items: int = 0
+    total_items: int = 0
+
+    @property
+    def accuracy_loss(self) -> Optional[float]:
+        """|approx − exact| / exact, averaged over groups when grouped."""
+        if self.exact_groups:
+            losses = [
+                accuracy_loss(self.groups.get(g, 0.0), exact)
+                for g, exact in self.exact_groups.items()
+                if exact != 0
+            ]
+            return sum(losses) / len(losses) if losses else None
+        if self.exact is None or self.exact == 0:
+            return None
+        return accuracy_loss(self.estimate, self.exact)
+
+
+@dataclass
+class SystemReport:
+    """Outcome of running one system over one input stream.
+
+    Bundles the per-pane `WindowResult`s with the virtual seconds the
+    simulated cluster charged, from which the figure-level metrics —
+    ``throughput`` (items per virtual second), ``latency`` (Fig. 10), and
+    ``mean_accuracy_loss`` — are derived.
+
+    Example
+    -------
+    >>> report = SystemReport("demo", results=[], virtual_seconds=2.0,
+    ...                       items_total=1000)
+    >>> report.throughput
+    500.0
+    """
+
+    system: str
+    results: List[WindowResult]
+    virtual_seconds: float
+    items_total: int
+
+    @property
+    def throughput(self) -> float:
+        """Input items processed per virtual second."""
+        if self.virtual_seconds <= 0:
+            return 0.0
+        return self.items_total / self.virtual_seconds
+
+    @property
+    def latency(self) -> float:
+        """Total virtual time to process the dataset (the Fig. 10 metric)."""
+        return self.virtual_seconds
+
+    def mean_accuracy_loss(self) -> float:
+        """Average accuracy loss over panes with defined ground truth."""
+        losses = [r.accuracy_loss for r in self.results if r.accuracy_loss is not None]
+        if not losses:
+            return 0.0
+        return sum(losses) / len(losses)
+
+    def mean_estimates(self) -> List[Tuple[float, float]]:
+        """(pane end, estimate) series — the Figure 7 time series."""
+        return [(r.end, r.estimate) for r in self.results]
+
+
+def accuracy_loss(approx: float, exact: float) -> float:
+    """The paper's accuracy metric: |approx − exact| / exact."""
+    if exact == 0:
+        return math.inf if approx != 0 else 0.0
+    return abs(approx - exact) / abs(exact)
+
+
+def estimate_pane(
+    sample: WeightedSample,
+    query: StreamQuery,
+    confidence: float,
+) -> Tuple[float, ErrorBound, Dict[Hashable, float]]:
+    """Evaluate the query on a pane's weighted sample with error bounds."""
+    if query.kind == "sum":
+        result = approximate_sum(sample, query.value_fn)
+    else:
+        result = approximate_mean(sample, query.value_fn)
+    bound = estimate_error(result, confidence=confidence)
+    groups: Dict[Hashable, float] = {}
+    if query.group_fn is not None:
+        if query.kind == "sum":
+            groups = grouped_sum(sample, query.group_fn, query.value_fn)
+        else:
+            groups = grouped_mean(sample, query.group_fn, query.value_fn)
+    return result.value, bound, groups
+
+
+def exact_panes(
+    stream: Iterable[Tuple[float, object]],
+    query: StreamQuery,
+    window: WindowConfig,
+) -> Dict[float, Tuple[float, Dict[Hashable, float], int]]:
+    """Ground truth per pane end: (exact value, exact per-group, item count).
+
+    Uses slide-sized batches so pane boundaries align with every system's
+    firing times.  Pure measurement — charges no virtual time.
+    """
+    batcher = Batcher(window.slide)
+    windower = SlidingWindower(window.length, window.slide, window.slide)
+    truth: Dict[float, Tuple[float, Dict[Hashable, float], int]] = {}
+    for pane in windower.panes(batcher.batches(stream)):
+        items = pane.items
+        values = [query.value_fn(x) for x in items]
+        total = math.fsum(values)
+        exact = total if query.kind == "sum" else (total / len(values) if values else 0.0)
+        exact_groups: Dict[Hashable, float] = {}
+        if query.group_fn is not None:
+            sums: Dict[Hashable, float] = {}
+            counts: Dict[Hashable, int] = {}
+            for item, value in zip(items, values):
+                g = query.group_fn(item)
+                sums[g] = sums.get(g, 0.0) + value
+                counts[g] = counts.get(g, 0) + 1
+            if query.kind == "sum":
+                exact_groups = sums
+            else:
+                exact_groups = {g: sums[g] / counts[g] for g in sums}
+        truth[round(pane.end, 6)] = (exact, exact_groups, len(items))
+    return truth
+
+
+def join_ground_truth(
+    results: List[WindowResult],
+    truth: Dict[float, Tuple[float, Dict[Hashable, float], int]],
+) -> List[WindowResult]:
+    """Attach per-pane ground truth to a driver's raw results.
+
+    Panes without a matching truth entry (e.g. an end-of-stream flush pane)
+    are dropped, keeping every system's report comparable.
+    """
+    matched: List[WindowResult] = []
+    for result in results:
+        key = round(result.end, 6)
+        if key in truth:
+            exact, exact_groups, count = truth[key]
+            matched.append(
+                WindowResult(
+                    end=result.end,
+                    estimate=result.estimate,
+                    exact=exact,
+                    error=result.error,
+                    groups=result.groups,
+                    exact_groups=exact_groups,
+                    sampled_items=result.sampled_items,
+                    total_items=count,
+                )
+            )
+    return matched

@@ -1,20 +1,26 @@
 """The six end-to-end systems of the paper's evaluation (Figure 3).
 
-* `SparkStreamApproxSystem` — OASRS before RDD formation (§4.2.1),
-* `FlinkStreamApproxSystem` — OASRS as a pipelined operator (§4.2.2),
-* `SparkSRSSystem` — improved baseline, Spark `sample` per batch,
-* `SparkSTSSystem` — improved baseline, Spark `sampleByKeyExact` per batch,
-* `NativeSparkSystem` / `NativeFlinkSystem` — no sampling.
+Every system is a thin declarative config over the unified execution
+runtime (`repro.runtime`) — a name plus an ``(engine, strategy)`` pair:
+
+* `SparkStreamApproxSystem` — batched engine + ``oasrs`` (§4.2.1),
+* `FlinkStreamApproxSystem` — pipelined engine + ``oasrs`` (§4.2.2),
+* `SparkSRSSystem` — batched engine + ``srs`` (Spark `sample`),
+* `SparkSTSSystem` — batched engine + ``sts`` (`sampleByKeyExact`),
+* `NativeSparkSystem` / `NativeFlinkSystem` — batched / pipelined engine
+  + ``none`` (no sampling).
 
 Beyond the paper's six, `NativeStreamApproxSystem` is this repo's own
-executor: OASRS directly over the stream with the vectorized chunk path
-and the real multi-process `ShardedExecutor` (``SystemConfig.chunk_size``
-/ ``parallelism``).  It is intentionally *not* part of ``ALL_SYSTEMS``,
+executor: the ``oasrs`` strategy on the runtime's **direct** engine, the
+system whose wall-clock speed measures the vectorized chunk path and the
+real multi-process `ShardedExecutor` (``SystemConfig.chunk_size`` /
+``parallelism``).  It is intentionally *not* part of ``ALL_SYSTEMS``,
 which enumerates exactly the paper's evaluated six.
 
 All share `StreamSystem.run(stream) → SystemReport` with per-pane
 estimates, error bounds, ground truth, accuracy loss, throughput and
-latency.
+latency; ``run`` also accepts any `repro.runtime.source.PlanSource`, so
+every system can read Kafka-style from the `repro.aggregator` broker.
 """
 
 from .base import (

@@ -1,31 +1,31 @@
-"""Shared result types and driver helpers for the evaluated systems.
+"""`StreamSystem` — the declarative shell every evaluated system shares.
 
-Every system (native Spark/Flink, Spark-SRS, Spark-STS, Spark/Flink
-StreamApprox) consumes a finite time-ordered ``(timestamp, item)`` stream,
-evaluates the `StreamQuery` per sliding-window pane, and returns a
-`SystemReport` holding:
+Since the unified runtime (`repro.runtime`) absorbed the per-system run
+loops, a system is just a name plus an ``(engine, strategy)`` pair: ``run``
+builds an `ExecutionPlan` from the system's (`StreamQuery`,
+`WindowConfig`, `SystemConfig`) triple, hands it to the runtime driver,
+and joins the per-pane ground truth into a `SystemReport`.
 
-* one `WindowResult` per pane — the approximate output, its ±error bound
-  (§3.3), the exact (unsampled) ground truth for the same pane, and the
-  achieved accuracy loss ``|approx − exact| / exact`` (the paper's §6.1
-  metric),
-* the virtual seconds consumed on the `SimulatedCluster`, hence the
-  throughput (items/second) and the dataset-processing latency (Fig. 10).
-
-Ground truth is computed outside the cost model — it is measurement
-apparatus, not part of the evaluated system.
+The result types and estimation helpers (`WindowResult`, `SystemReport`,
+`estimate_pane`, `exact_panes`, `accuracy_loss`) live in
+`repro.runtime.report` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..core.error import ErrorBound, estimate_error
-from ..core.query import approximate_mean, approximate_sum, grouped_mean, grouped_sum
-from ..core.strata import WeightedSample
-from ..engine.batched.dstream import Batcher, SlidingWindower
+from ..runtime.driver import execute_plan
+from ..runtime.plan import ExecutionPlan, build_plan
+from ..runtime.report import (  # noqa: F401  (re-exported compatibility names)
+    SystemReport,
+    WindowResult,
+    accuracy_loss,
+    estimate_pane,
+    exact_panes,
+    join_ground_truth,
+)
+from ..runtime.source import ListSource, PlanSource, as_source
 from .config import StreamQuery, SystemConfig, WindowConfig
 
 __all__ = [
@@ -38,161 +38,24 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class WindowResult:
-    """One sliding-window pane's output.
-
-    Pairs the system's approximate ``estimate`` (with its ±``error`` bound
-    and optional per-group values) with the ``exact`` ground truth computed
-    by re-executing the pane unsampled, from which ``accuracy_loss`` — the
-    paper's §6.1 metric — derives.
-
-    Example
-    -------
-    >>> pane = WindowResult(end=5.0, estimate=98.0, exact=100.0, error=None)
-    >>> round(pane.accuracy_loss, 3)
-    0.02
-    """
-
-    end: float
-    estimate: float
-    exact: Optional[float]
-    error: Optional[ErrorBound]
-    groups: Dict[Hashable, float] = field(default_factory=dict)
-    exact_groups: Dict[Hashable, float] = field(default_factory=dict)
-    sampled_items: int = 0
-    total_items: int = 0
-
-    @property
-    def accuracy_loss(self) -> Optional[float]:
-        """|approx − exact| / exact, averaged over groups when grouped."""
-        if self.exact_groups:
-            losses = [
-                accuracy_loss(self.groups.get(g, 0.0), exact)
-                for g, exact in self.exact_groups.items()
-                if exact != 0
-            ]
-            return sum(losses) / len(losses) if losses else None
-        if self.exact is None or self.exact == 0:
-            return None
-        return accuracy_loss(self.estimate, self.exact)
-
-
-@dataclass
-class SystemReport:
-    """Outcome of running one system over one input stream.
-
-    Bundles the per-pane `WindowResult`s with the virtual seconds the
-    simulated cluster charged, from which the figure-level metrics —
-    ``throughput`` (items per virtual second), ``latency`` (Fig. 10), and
-    ``mean_accuracy_loss`` — are derived.
-
-    Example
-    -------
-    >>> report = SystemReport("demo", results=[], virtual_seconds=2.0,
-    ...                       items_total=1000)
-    >>> report.throughput
-    500.0
-    """
-
-    system: str
-    results: List[WindowResult]
-    virtual_seconds: float
-    items_total: int
-
-    @property
-    def throughput(self) -> float:
-        """Input items processed per virtual second."""
-        if self.virtual_seconds <= 0:
-            return 0.0
-        return self.items_total / self.virtual_seconds
-
-    @property
-    def latency(self) -> float:
-        """Total virtual time to process the dataset (the Fig. 10 metric)."""
-        return self.virtual_seconds
-
-    def mean_accuracy_loss(self) -> float:
-        """Average accuracy loss over panes with defined ground truth."""
-        losses = [r.accuracy_loss for r in self.results if r.accuracy_loss is not None]
-        if not losses:
-            return 0.0
-        return sum(losses) / len(losses)
-
-    def mean_estimates(self) -> List[Tuple[float, float]]:
-        """(pane end, estimate) series — the Figure 7 time series."""
-        return [(r.end, r.estimate) for r in self.results]
-
-
-def accuracy_loss(approx: float, exact: float) -> float:
-    """The paper's accuracy metric: |approx − exact| / exact."""
-    if exact == 0:
-        return math.inf if approx != 0 else 0.0
-    return abs(approx - exact) / abs(exact)
-
-
-def estimate_pane(
-    sample: WeightedSample,
-    query: StreamQuery,
-    confidence: float,
-) -> Tuple[float, ErrorBound, Dict[Hashable, float]]:
-    """Evaluate the query on a pane's weighted sample with error bounds."""
-    if query.kind == "sum":
-        result = approximate_sum(sample, query.value_fn)
-    else:
-        result = approximate_mean(sample, query.value_fn)
-    bound = estimate_error(result, confidence=confidence)
-    groups: Dict[Hashable, float] = {}
-    if query.group_fn is not None:
-        if query.kind == "sum":
-            groups = grouped_sum(sample, query.group_fn, query.value_fn)
-        else:
-            groups = grouped_mean(sample, query.group_fn, query.value_fn)
-    return result.value, bound, groups
-
-
-def exact_panes(
-    stream: Iterable[Tuple[float, object]],
-    query: StreamQuery,
-    window: WindowConfig,
-) -> Dict[float, Tuple[float, Dict[Hashable, float], int]]:
-    """Ground truth per pane end: (exact value, exact per-group, item count).
-
-    Uses slide-sized batches so pane boundaries align with every system's
-    firing times.  Pure measurement — charges no virtual time.
-    """
-    batcher = Batcher(window.slide)
-    windower = SlidingWindower(window.length, window.slide, window.slide)
-    truth: Dict[float, Tuple[float, Dict[Hashable, float], int]] = {}
-    for pane in windower.panes(batcher.batches(stream)):
-        items = pane.items
-        values = [query.value_fn(x) for x in items]
-        total = math.fsum(values)
-        exact = total if query.kind == "sum" else (total / len(values) if values else 0.0)
-        exact_groups: Dict[Hashable, float] = {}
-        if query.group_fn is not None:
-            sums: Dict[Hashable, float] = {}
-            counts: Dict[Hashable, int] = {}
-            for item, value in zip(items, values):
-                g = query.group_fn(item)
-                sums[g] = sums.get(g, 0.0) + value
-                counts[g] = counts.get(g, 0) + 1
-            if query.kind == "sum":
-                exact_groups = sums
-            else:
-                exact_groups = {g: sums[g] / counts[g] for g in sums}
-        truth[round(pane.end, 6)] = (exact, exact_groups, len(items))
-    return truth
-
-
 class StreamSystem:
-    """Base class for the evaluated systems.
+    """Base class for the evaluated systems: a declarative runtime config.
 
-    Holds the (`StreamQuery`, `WindowConfig`, `SystemConfig`) triple and
-    drives ``run``: compute per-pane ground truth, call the subclass's
-    ``_execute`` over the timestamped stream, and join the two into a
-    `SystemReport`.  Subclasses implement ``_execute(stream) → (results,
-    cluster)`` only.
+    Subclasses declare ``name``, ``engine`` (``batched`` / ``pipelined`` /
+    ``direct``), and ``strategy`` (a registered sampling-strategy name);
+    `plan` turns the declaration plus the (`StreamQuery`, `WindowConfig`,
+    `SystemConfig`) triple into a validated `ExecutionPlan`, and ``run``
+    executes it through `repro.runtime.driver.execute_plan`, joining
+    per-pane ground truth into the `SystemReport`.
+
+    ``run`` accepts either an in-memory ``(timestamp, item)`` list or any
+    `repro.runtime.source.PlanSource` (e.g. a broker-backed
+    `repro.runtime.source.TopicSource`) — every system reads from every
+    source.
+
+    Experimental systems may still override ``_execute(stream)`` directly
+    instead of declaring an engine (see
+    `repro.system.spark_base.BatchedSystem` for the batched hook).
 
     Example
     -------
@@ -208,6 +71,11 @@ class StreamSystem:
     """
 
     name = "abstract"
+    #: Runtime engine this system executes on; subclasses that keep a
+    #: bespoke ``_execute`` may leave it empty.
+    engine: str = ""
+    #: Registered sampling-strategy name driving the plan's sampling stage.
+    strategy: str = "none"
 
     def __init__(
         self,
@@ -219,33 +87,35 @@ class StreamSystem:
         self.window = window if window is not None else WindowConfig()
         self.config = config if config is not None else SystemConfig()
 
-    def run(self, stream: List[Tuple[float, object]]) -> SystemReport:
-        """Process the stream; concrete systems implement `_execute`."""
-        truth = exact_panes(stream, self.query, self.window)
-        results, cluster = self._execute(stream)
-        matched: List[WindowResult] = []
-        for result in results:
-            key = round(result.end, 6)
-            if key in truth:
-                exact, exact_groups, count = truth[key]
-                matched.append(
-                    WindowResult(
-                        end=result.end,
-                        estimate=result.estimate,
-                        exact=exact,
-                        error=result.error,
-                        groups=result.groups,
-                        exact_groups=exact_groups,
-                        sampled_items=result.sampled_items,
-                        total_items=count,
-                    )
-                )
-        return SystemReport(
-            system=self.name,
-            results=matched,
-            virtual_seconds=cluster.elapsed(),
-            items_total=len(stream),
+    def plan(self, source: Optional[PlanSource] = None) -> ExecutionPlan:
+        """Build this system's validated `ExecutionPlan` for one run."""
+        if not self.engine:
+            raise TypeError(
+                f"system {self.name!r} does not declare a runtime engine; "
+                "it executes through a bespoke _execute override"
+            )
+        return build_plan(
+            query=self.query,
+            window=self.window,
+            config=self.config,
+            engine=self.engine,
+            strategy=self.strategy,
+            source=source,
+            name=self.name,
         )
 
-    def _execute(self, stream):
-        raise NotImplementedError
+    def run(self, stream) -> SystemReport:
+        """Process a stream (a ``(timestamp, item)`` list or a `PlanSource`)."""
+        events = as_source(stream).events()
+        truth = exact_panes(events, self.query, self.window)
+        results, cluster = self._execute(events)
+        return SystemReport(
+            system=self.name,
+            results=join_ground_truth(results, truth),
+            virtual_seconds=cluster.elapsed(),
+            items_total=len(events),
+        )
+
+    def _execute(self, stream: List[Tuple[float, object]]):
+        """Run the system's plan; override only for experimental systems."""
+        return execute_plan(self.plan(ListSource(stream)))

@@ -11,17 +11,14 @@ only ingest + one reservoir offer; per *kept* item, one query-processing
 charge; and it never forms a batch, launches a task, shuffles, or
 synchronises.  That is why Flink-based StreamApprox tops every throughput
 figure in the paper.
+
+Declaratively: the pipelined engine driving the ``oasrs`` strategy
+(`repro.runtime.strategies.OASRSStrategy`) in its interval role.
 """
 
 from __future__ import annotations
 
-import random
-from typing import List, Tuple
-
-from ..core.oasrs import OASRSSampler, WaterFillingAllocation
-from ..engine.cluster import SimulatedCluster
-from ..engine.pipelined.dataflow import Pipeline
-from .base import StreamSystem, WindowResult, estimate_pane
+from .base import StreamSystem
 
 __all__ = ["FlinkStreamApproxSystem"]
 
@@ -33,6 +30,8 @@ class FlinkStreamApproxSystem(StreamSystem):
     the operators' ``on_chunk`` fast path) into the sampling operator; each
     slide boundary emits a weighted interval sample that the window operator
     merges and aggregates — the cheapest structure of all six systems.
+    ``SystemConfig.parallelism`` shards each interval's sampling over real
+    worker processes at interval close.
 
     Example
     -------
@@ -46,65 +45,5 @@ class FlinkStreamApproxSystem(StreamSystem):
     """
 
     name = "flink-streamapprox"
-
-    def _execute(self, stream: List[Tuple[float, object]]):
-        cluster = SimulatedCluster(
-            nodes=self.config.nodes, cores_per_node=self.config.cores_per_node
-        )
-        query = self.query
-        confidence = self.config.confidence
-
-        # Budget per slide interval: fraction × expected items per slide,
-        # estimated online from the stream's average rate (first interval
-        # uses an equal split; water-filling adapts from then on).
-        if stream:
-            duration = max(stream[-1][0] - stream[0][0], self.window.slide)
-            per_slide = len(stream) * self.window.slide / duration
-        else:
-            per_slide = 1.0
-        budget = max(1, int(self.config.sampling_fraction * per_slide))
-        # §2.3: sub-stream sources are declared at the aggregator; give the
-        # allocator the stratum count so the first interval splits fairly.
-        strata_hint = max(1, len({query.key_fn(item) for _ts, item in stream})) if stream else 1
-        sampler = OASRSSampler(
-            WaterFillingAllocation(budget, expected_strata=strata_hint),
-            key_fn=query.key_fn,
-            rng=random.Random(self.config.seed),
-        )
-
-        def aggregate(merged):
-            estimate, bound, groups = estimate_pane(merged, query, confidence)
-            return estimate, bound, groups, merged.total_items, merged.total_count
-
-        raw = (
-            Pipeline(cluster)
-            .sample_oasrs(sampler, slide=self.window.slide)
-            .charge(count_fn=lambda sample: sample.total_items)
-            .window_samples(
-                intervals_per_window=self.window.intervals_per_window,
-                aggregate=aggregate,
-                charge_processing=False,
-            )
-            .sink_collect()
-            .run(stream, chunk_size=self.config.chunk_size)
-        )
-        # Drop the end-of-stream flush pane (it covers a partial interval
-        # beyond the last watermark); the batched systems emit no such pane,
-        # so keeping it would skew cross-system accuracy comparisons.
-        last_ts = stream[-1][0] if stream else 0.0
-        results: List[WindowResult] = []
-        for ts, (estimate, bound, groups, kept, total) in raw:
-            if ts > last_ts:
-                continue
-            results.append(
-                WindowResult(
-                    end=ts,
-                    estimate=estimate,
-                    exact=None,
-                    error=bound,
-                    groups=groups,
-                    sampled_items=kept,
-                    total_items=total,
-                )
-            )
-        return results, cluster
+    engine = "pipelined"
+    strategy = "oasrs"

@@ -7,42 +7,30 @@ Two kinds of "native" live here:
   micro-batch and processes every item; `NativeFlinkSystem` pushes every
   item through the pipelined dataflow.  Both produce exact window results
   (weight-1 samples ⇒ zero-width error bounds), paying the full per-item
-  processing bill that sampling-based systems avoid.
-* `NativeStreamApproxSystem` — *this repo's* native execution path: OASRS
-  run directly over slide-sized intervals with no engine simulation in the
-  hot loop, which makes it the system whose **wall-clock** speed reflects
-  the sampling stack itself.  It is where the vectorized chunk API
-  (``SystemConfig.chunk_size``) and the real multi-process
-  `repro.core.distributed.ShardedExecutor` (``SystemConfig.parallelism``)
-  are exposed end to end.
+  processing bill that sampling-based systems avoid.  Declaratively they
+  are the ``none`` strategy on the batched and pipelined engines.
+* `NativeStreamApproxSystem` — *this repo's* native execution path: the
+  ``oasrs`` strategy on the runtime's **direct** engine
+  (`repro.runtime.driver.run_direct`), which runs the sampling stack
+  straight over slide-sized intervals with no engine simulation in the
+  hot loop.  Its **wall-clock** speed therefore reflects the sampling
+  stack itself — the system the chunked (``SystemConfig.chunk_size``) and
+  sharded (``SystemConfig.parallelism``) fast paths are benchmarked on.
 """
 
 from __future__ import annotations
 
-import math
-import random
 import time
-from bisect import bisect_left
-from collections import deque
-from operator import itemgetter
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
-from ..core._vector import np as _np
-from ..core.distributed import ShardedExecutor
-from ..core.error import estimate_error
-from ..core.oasrs import OASRSSampler, WaterFillingAllocation
-from ..core.query import QueryResult, StratumStats
-from ..core.strata import combine_worker_samples, stratum_weight
-from ..engine.batched.context import StreamingContext
-from ..engine.cluster import SimulatedCluster
-from ..engine.pipelined.dataflow import Pipeline
-from .base import StreamSystem, WindowResult, estimate_pane
-from .spark_base import BatchedSystem, full_weight_sample
+from ..runtime.driver import run_direct
+from ..runtime.source import ListSource
+from .base import StreamSystem
 
 __all__ = ["NativeSparkSystem", "NativeFlinkSystem", "NativeStreamApproxSystem"]
 
 
-class NativeSparkSystem(BatchedSystem):
+class NativeSparkSystem(StreamSystem):
     """Spark Streaming without sampling: RDD every batch, process all.
 
     The exact-but-expensive baseline: every arriving item pays ingest, the
@@ -59,11 +47,8 @@ class NativeSparkSystem(BatchedSystem):
     """
 
     name = "native-spark"
-
-    def _handle_batch(self, ctx: StreamingContext, items: Sequence[object]):
-        rdd = ctx.rdd_of(items)
-        rdd.process_all()
-        return full_weight_sample(items, self.query.key_fn)
+    engine = "batched"
+    strategy = "none"
 
 
 class NativeFlinkSystem(StreamSystem):
@@ -84,106 +69,8 @@ class NativeFlinkSystem(StreamSystem):
     """
 
     name = "native-flink"
-
-    def _execute(self, stream: List[Tuple[float, object]]):
-        cluster = SimulatedCluster(
-            nodes=self.config.nodes, cores_per_node=self.config.cores_per_node
-        )
-        query = self.query
-        confidence = self.config.confidence
-
-        def aggregate(pane_items):
-            sample = full_weight_sample([item for _ts, item in pane_items], query.key_fn)
-            estimate, bound, groups = estimate_pane(sample, query, confidence)
-            return estimate, bound, groups, sample.total_items
-
-        raw = (
-            Pipeline(cluster)
-            .charge()  # per-item query processing, charged exactly once
-            .window(
-                length=self.window.length,
-                slide=self.window.slide,
-                aggregate=aggregate,
-                charge_processing=False,
-            )
-            .sink_collect()
-            .run(stream, chunk_size=self.config.chunk_size)
-        )
-        # Drop the end-of-stream flush pane to stay comparable with the
-        # batched systems, which only fire at slide boundaries.
-        last_ts = stream[-1][0] if stream else 0.0
-        results: List[WindowResult] = []
-        for ts, (estimate, bound, groups, n) in raw:
-            if ts > last_ts:
-                continue
-            results.append(
-                WindowResult(
-                    end=ts,
-                    estimate=estimate,
-                    exact=None,
-                    error=bound,
-                    groups=groups,
-                    sampled_items=n,
-                    total_items=n,
-                )
-            )
-        return results, cluster
-
-
-def _interval_moments(sample, value_fn):
-    """Per-stratum sufficient statistics (y, c, Σv, Σv²) of one interval.
-
-    Computed once when the interval closes; panes pool these instead of
-    re-scanning every sampled item per pane — batch-level accounting in the
-    estimation layer, matching the chunk-level accounting in the samplers.
-    """
-    moments = []
-    for stratum in sample:
-        items = stratum.items
-        y = len(items)
-        if y == 0:
-            continue
-        if _np is not None and y >= 1024:
-            array = _np.asarray([value_fn(x) for x in items], dtype=_np.float64)
-            total = float(array.sum())
-            sumsq = float(_np.dot(array, array))
-        else:
-            values = [value_fn(x) for x in items]
-            total = math.fsum(values)
-            sumsq = math.fsum(v * v for v in values)
-        moments.append((stratum.key, y, stratum.count, total, sumsq))
-    return moments
-
-
-def _pane_stats(moment_sets) -> List[StratumStats]:
-    """Pool interval moments into the pane's per-stratum `StratumStats`.
-
-    Counts and sums add across intervals; the pooled unbiased variance
-    comes from the summed squares (Equation 7 on the concatenated sample),
-    and the pooled Equation-1 weight re-derives as ΣC / ΣY — algebraically
-    identical to merging the samples and recomputing.
-    """
-    pooled = {}
-    for moments in moment_sets:
-        for key, y, c, total, sumsq in moments:
-            if key in pooled:
-                py, pc, pt, ps = pooled[key]
-                pooled[key] = (py + y, pc + c, pt + total, ps + sumsq)
-            else:
-                pooled[key] = (y, c, total, sumsq)
-    strata = []
-    for key, (y, c, total, sumsq) in pooled.items():
-        mean = total / y if y else 0.0
-        variance = (
-            max(0.0, (sumsq - y * mean * mean) / (y - 1)) if y > 1 else 0.0
-        )
-        strata.append(
-            StratumStats(
-                key=key, y=y, c=c, weight=stratum_weight(c, y),
-                total=total, mean=mean, variance=variance,
-            )
-        )
-    return strata
+    engine = "pipelined"
+    strategy = "none"
 
 
 class NativeStreamApproxSystem(StreamSystem):
@@ -212,113 +99,14 @@ class NativeStreamApproxSystem(StreamSystem):
     """
 
     name = "native-streamapprox"
+    engine = "direct"
+    strategy = "oasrs"
+
+    #: Wall seconds the last ``_execute`` spent inside the sampling path.
+    last_sampling_seconds = 0.0
 
     def _execute(self, stream: List[Tuple[float, object]]):
-        cluster = SimulatedCluster(
-            nodes=self.config.nodes, cores_per_node=self.config.cores_per_node
-        )
-        results: List[WindowResult] = []
-        self.last_sampling_seconds = 0.0
-        if not stream:
-            return results, cluster
-        query = self.query
-        config = self.config
-        # Per-interval budget, as in the Flink system: fraction × expected
-        # items per slide, with the declared strata splitting the first one.
-        duration = max(stream[-1][0] - stream[0][0], self.window.slide)
-        per_slide = len(stream) * self.window.slide / duration
-        budget = max(1, int(config.sampling_fraction * per_slide))
-        # Strata hint from a prefix only — scanning every item of a large
-        # stream just to count sources would dominate the hot loop.
-        key_fn = query.key_fn
-        strata_hint = max(1, len({key_fn(item) for _ts, item in stream[:20_000]}))
-        policy = WaterFillingAllocation(budget, expected_strata=strata_hint)
-
-        chunk = config.chunk_size
-        executor = None
-        sampler = None
-        if config.parallelism > 1:
-            executor = ShardedExecutor(
-                config.parallelism,
-                policy,
-                query.key_fn,
-                seed=config.seed,
-                chunk_size=chunk if chunk > 1 else 1024,
-            )
-        else:
-            sampler = OASRSSampler(
-                policy, key_fn=query.key_fn, rng=random.Random(config.seed)
-            )
-
-        history = deque(maxlen=self.window.intervals_per_window)
-        sampling_seconds = 0.0
-        # Slide-interval boundaries via bisection on the (ordered) timestamps
-        # instead of a per-item batching loop; pane ends match `Batcher`'s
-        # (every slide multiple, items with ts == boundary go to the next
-        # interval, final partial interval keeps its nominal end).
-        n = len(stream)
-        slide = self.window.slide
-        timestamp_of = itemgetter(0)
-        start_idx = 0
-        boundary = slide
-        while start_idx < n:
-            end_idx = bisect_left(stream, boundary, lo=start_idx, key=timestamp_of)
-            items = [item for _ts, item in stream[start_idx:end_idx]]
-            start_idx = end_idx
-            pane_end = boundary
-            boundary += slide
-            cluster.sample_items(len(items), "oasrs")
-            sampling_started = time.perf_counter()
-            if executor is not None:
-                sample = executor.run(items)
-            else:
-                if chunk > 1 and len(items) > 1:
-                    process_chunk = sampler.process_chunk
-                    for start in range(0, len(items), chunk):
-                        process_chunk(items[start : start + chunk])
-                else:
-                    offer = sampler.offer
-                    for item in items:
-                        offer(item)
-                sample = sampler.close_interval()
-            sampling_seconds += time.perf_counter() - sampling_started
-            cluster.process_items(sample.total_items)
-            if query.group_fn is None:
-                # Moment path: pool per-interval sufficient statistics — no
-                # per-pane re-scan of the sampled items.
-                history.append(_interval_moments(sample, query.value_fn))
-                strata = _pane_stats(history)
-                population = sum(s.c for s in strata)
-                weighted_total = math.fsum(s.total * s.weight for s in strata)
-                if query.kind == "sum":
-                    value = weighted_total
-                else:
-                    value = weighted_total / population if population else 0.0
-                bound = estimate_error(
-                    QueryResult(value=value, strata=strata, kind=query.kind),
-                    confidence=config.confidence,
-                )
-                groups = {}
-                sampled = sum(s.y for s in strata)
-            else:
-                # Grouped queries need the items themselves: merge samples
-                # and evaluate through the shared estimation path.
-                history.append(sample)
-                merged = combine_worker_samples(list(history))
-                value, bound, groups = estimate_pane(merged, query, config.confidence)
-                population = merged.total_count
-                sampled = merged.total_items
-            results.append(
-                WindowResult(
-                    end=pane_end,
-                    estimate=value,
-                    exact=None,
-                    error=bound,
-                    groups=groups,
-                    sampled_items=sampled,
-                    total_items=population,
-                )
-            )
+        results, cluster, sampling_seconds = run_direct(self.plan(ListSource(stream)))
         self.last_sampling_seconds = sampling_seconds
         return results, cluster
 

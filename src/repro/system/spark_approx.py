@@ -11,28 +11,26 @@ The per-stratum reservoir budget for each batch is
 policy (small strata kept whole, large strata capped equally), re-derived
 every interval from the previous interval's counters — the "adaptive"
 in OASRS, needing no pre-defined per-stratum fractions.
+
+Declaratively: the batched engine driving the ``oasrs`` strategy
+(`repro.runtime.strategies.OASRSStrategy`) in its batch role.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Sequence
-
-from ..core.oasrs import OASRSSampler, WaterFillingAllocation
-from ..core.strata import WeightedSample
-from ..engine.batched.context import StreamingContext
-from .spark_base import BatchedSystem
+from .base import StreamSystem
 
 __all__ = ["SparkStreamApproxSystem"]
 
 
-class SparkStreamApproxSystem(BatchedSystem):
+class SparkStreamApproxSystem(StreamSystem):
     """Micro-batch pipeline with on-the-fly OASRS before RDD formation.
 
     Every arriving item pays one O(1) reservoir offer (chunked through
-    `OASRSSampler.process_chunk` when ``SystemConfig.chunk_size > 1``, with
-    RDD partitions as the default chunks); only *kept* items pay RDD
-    formation and query processing — no shuffle, sort, or barrier.
+    `OASRSSampler.process_chunk` when ``SystemConfig.chunk_size > 1``, or
+    sharded over ``SystemConfig.parallelism`` real worker processes); only
+    *kept* items pay RDD formation and query processing — no shuffle,
+    sort, or barrier.
 
     Example
     -------
@@ -46,40 +44,5 @@ class SparkStreamApproxSystem(BatchedSystem):
     """
 
     name = "spark-streamapprox"
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self._rng = random.Random(self.config.seed)
-        self._sampler: OASRSSampler = None  # type: ignore[assignment]
-        self._policy: WaterFillingAllocation = None  # type: ignore[assignment]
-
-    def _ensure_sampler(self, batch_size: int, strata_hint: int) -> None:
-        budget = max(1, int(self.config.sampling_fraction * max(1, batch_size)))
-        if self._sampler is None:
-            # §2.3: the sub-stream sources are declared at the aggregator, so
-            # the first interval can already split its budget across them.
-            self._policy = WaterFillingAllocation(budget, expected_strata=strata_hint)
-            self._sampler = OASRSSampler(
-                self._policy, key_fn=self.query.key_fn, rng=self._rng
-            )
-        else:
-            self._policy.total = budget
-
-    def _handle_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
-        strata_hint = max(1, len({self.query.key_fn(x) for x in items}))
-        self._ensure_sampler(len(items), strata_hint)
-        # On-the-fly sampling: every arriving item is offered (O(1) each)...
-        ctx.cluster.sample_items(len(items), "oasrs")
-        if self.config.chunk_size > 1:
-            # Chunked mode: the batch's RDD partitions become sampler chunks
-            # (or explicit chunk_size-item runs) through the vectorized path.
-            for chunk in ctx.chunks_of(items, self.config.chunk_size):
-                self._sampler.process_chunk(chunk)
-        else:
-            self._sampler.offer_many(items)
-        sample = self._sampler.close_interval()
-        kept = sample.all_items()
-        # ...but only the kept items are turned into an RDD and processed.
-        rdd = ctx.rdd_of_presampled(kept, skipped=len(items) - len(kept))
-        rdd.process_all()
-        return sample
+    engine = "batched"
+    strategy = "oasrs"

@@ -1,47 +1,40 @@
-"""Shared micro-batch driver for the Spark-style systems.
+"""Batched-engine extension hook for ad-hoc experimental systems.
 
-All four batched systems (native, SRS, STS, StreamApprox) share the same
-skeleton — chop the stream into micro-batches, do per-batch work, and fire
-a sliding-window pane every ``slide`` seconds by merging the per-batch
-weighted samples inside the window (§5.5: "sampling operations are
-performed at every batch interval in the Spark-based systems").  They
-differ only in `_handle_batch`, which returns the batch's `WeightedSample`
-and charges the system-specific costs on the simulated cluster.
+The four shipping Spark-style systems (native, SRS, STS, StreamApprox) are
+declarative configs over the unified runtime — their per-batch sampling
+lives in `repro.runtime.strategies` and the micro-batch skeleton in
+`repro.runtime.driver.run_batched`.  `BatchedSystem` remains as the
+extension point for one-off experimental systems (e.g. the drift-ablation
+baselines) that want to plug a custom ``_handle_batch`` into that same
+skeleton without registering a full `SamplingStrategy`.
 
-Full-batch systems represent unsampled data as weight-1 strata, so the
-same estimation path yields exact results with zero-width error bounds —
-no special-casing downstream.
+`full_weight_sample` is re-exported from `repro.runtime.strategies` for
+compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..core.strata import StratumSample, WeightedSample, combine_worker_samples
+from ..core.strata import WeightedSample
 from ..engine.batched.context import StreamingContext
-from .base import StreamSystem, WindowResult, estimate_pane
+from ..runtime.driver import run_batched
+from ..runtime.source import ListSource
+from ..runtime.strategies import full_weight_sample  # noqa: F401  (re-export)
+from .base import StreamSystem
 
 __all__ = ["BatchedSystem", "full_weight_sample"]
 
 
-def full_weight_sample(items: Sequence[object], key_fn) -> WeightedSample:
-    """Wrap a fully-kept batch as weight-1 strata (exact representation)."""
-    groups: Dict[object, List[object]] = {}
-    for item in items:
-        groups.setdefault(key_fn(item), []).append(item)
-    sample = WeightedSample()
-    for key, members in groups.items():
-        sample.add(StratumSample(key, tuple(members), len(members), 1.0))
-    return sample
-
-
 class BatchedSystem(StreamSystem):
-    """Micro-batch skeleton; subclasses implement `_handle_batch`.
+    """Micro-batch hook: subclasses implement `_handle_batch`.
 
-    Chops the stream into ``batch_interval`` micro-batches, calls
-    ``_handle_batch`` for each (which returns the batch's `WeightedSample`
-    and charges system-specific costs), and fires a sliding-window pane
-    every ``slide`` seconds by merging the in-window batch samples.
+    The runtime's batched loop chops the stream into ``batch_interval``
+    micro-batches, calls ``_handle_batch`` for each (which returns the
+    batch's `WeightedSample` and charges system-specific costs), and fires
+    a sliding-window pane every ``slide`` seconds by merging the in-window
+    batch samples — identical to the loop the registered strategies run
+    through.
 
     Example
     -------
@@ -51,44 +44,11 @@ class BatchedSystem(StreamSystem):
     ...         return full_weight_sample(items, self.query.key_fn)
     """
 
-    def _make_context(self) -> StreamingContext:
-        return StreamingContext(
-            batch_interval=self.config.batch_interval,
-            nodes=self.config.nodes,
-            cores_per_node=self.config.cores_per_node,
-        )
+    engine = "batched"
+    strategy = "none"
 
     def _handle_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
         raise NotImplementedError
 
     def _execute(self, stream: List[Tuple[float, object]]):
-        ctx = self._make_context()
-        batcher = ctx.batcher()
-        per_slide = int(round(self.window.slide / self.config.batch_interval))
-        per_window = int(round(self.window.length / self.config.batch_interval))
-        if abs(per_slide - self.window.slide / self.config.batch_interval) > 1e-9:
-            raise ValueError("window slide must be a multiple of the batch interval")
-
-        history: List[WeightedSample] = []
-        results: List[WindowResult] = []
-        for batch in batcher.batches(stream):
-            history.append(self._handle_batch(ctx, batch.items))
-            if len(history) > per_window:
-                del history[: len(history) - per_window]
-            if (batch.index + 1) % per_slide == 0:
-                pane_sample = combine_worker_samples(history[-per_window:])
-                estimate, bound, groups = estimate_pane(
-                    pane_sample, self.query, self.config.confidence
-                )
-                results.append(
-                    WindowResult(
-                        end=batch.end,
-                        estimate=estimate,
-                        exact=None,
-                        error=bound,
-                        groups=groups,
-                        sampled_items=pane_sample.total_items,
-                        total_items=pane_sample.total_count,
-                    )
-                )
-        return results, ctx.cluster
+        return run_batched(self.plan(ListSource(stream)), handle_batch=self._handle_batch)

@@ -10,28 +10,26 @@ The batch's sample is represented as a single pseudo-stratum: SRS is
 oblivious to sub-streams, which is precisely its accuracy weakness on
 skewed inputs (Figures 4b, 6c, 7a) — rare strata are missed with high
 probability, and nothing re-weights for them.
+
+Declaratively: the batched engine driving the ``srs`` strategy
+(`repro.runtime.strategies.SRSStrategy`).
 """
 
 from __future__ import annotations
 
-import random
-from typing import Sequence
-
-from ..core.strata import StratumSample, WeightedSample, stratum_weight
-from ..engine.batched.context import StreamingContext
-from .spark_base import BatchedSystem
+from .base import StreamSystem
 
 __all__ = ["SparkSRSSystem"]
 
-_SRS_KEY = "__srs__"
 
-
-class SparkSRSSystem(BatchedSystem):
+class SparkSRSSystem(StreamSystem):
     """Micro-batch pipeline with Spark's `sample` (ScaSRS) per batch.
 
     Every micro-batch is materialised as a full RDD, uniformly sampled with
-    the pruned random sort, and only kept items are processed; the sample is
-    one unstratified pseudo-stratum, so rare sub-streams can vanish.
+    the pruned random sort (vectorized per partition when
+    ``SystemConfig.chunk_size > 1``), and only kept items are processed;
+    the sample is one unstratified pseudo-stratum, so rare sub-streams can
+    vanish.
 
     Example
     -------
@@ -45,19 +43,5 @@ class SparkSRSSystem(BatchedSystem):
     """
 
     name = "spark-srs"
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self._rng = random.Random(self.config.seed)
-
-    def _handle_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
-        rdd = ctx.rdd_of(items)
-        sampled_rdd = rdd.sample(self.config.sampling_fraction, rng=self._rng)
-        kept = sampled_rdd.collect()
-        ctx.cluster.process_items(len(kept))
-
-        sample = WeightedSample()
-        if items:
-            weight = stratum_weight(len(items), len(kept))
-            sample.add(StratumSample(_SRS_KEY, tuple(kept), len(items), weight))
-        return sample
+    engine = "batched"
+    strategy = "srs"

@@ -14,26 +14,26 @@ batch, so the realised sample tracks arrival-rate shifts only at batch
 granularity and always proportionally — it cannot cap popular strata the
 way OASRS's fixed reservoirs do, which is why its throughput stays low
 even when accuracy targets would allow a smaller sample.
+
+Declaratively: the batched engine driving the ``sts`` strategy
+(`repro.runtime.strategies.STSStrategy`).
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Sequence
-
-from ..core.strata import StratumSample, WeightedSample, stratum_weight
-from ..engine.batched.context import StreamingContext
-from .spark_base import BatchedSystem
+from .base import StreamSystem
 
 __all__ = ["SparkSTSSystem"]
 
 
-class SparkSTSSystem(BatchedSystem):
+class SparkSTSSystem(StreamSystem):
     """Micro-batch pipeline with Spark's `sampleByKeyExact` per batch.
 
     Groups every micro-batch by stratum (full shuffle + barriers), then
-    keeps an exact ``sampling_fraction`` of each stratum — statistically
-    strong, structurally the slowest system in every throughput figure.
+    keeps an exact ``sampling_fraction`` of each stratum (vectorized
+    partition-at-a-time when ``SystemConfig.chunk_size > 1``) —
+    statistically strong, structurally the slowest system in every
+    throughput figure.
 
     Example
     -------
@@ -47,34 +47,5 @@ class SparkSTSSystem(BatchedSystem):
     """
 
     name = "spark-sts"
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self._rng = random.Random(self.config.seed)
-
-    def _handle_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
-        key_fn = self.query.key_fn
-        rdd = ctx.rdd_of(items)
-        sampled_rdd = rdd.sample_by_key(
-            self.config.sampling_fraction, key_fn=key_fn, exact=True, rng=self._rng
-        )
-        kept = sampled_rdd.collect()
-        ctx.cluster.process_items(len(kept))
-
-        # Reconstruct per-stratum counts/weights (bookkeeping, clock-free).
-        counts: Dict[object, int] = {}
-        for item in items:
-            counts[key_fn(item)] = counts.get(key_fn(item), 0) + 1
-        kept_by_key: Dict[object, List[object]] = {}
-        for item in kept:
-            kept_by_key.setdefault(key_fn(item), []).append(item)
-
-        sample = WeightedSample()
-        for key, count in counts.items():
-            members = tuple(kept_by_key.get(key, ()))
-            if not members:
-                continue
-            sample.add(
-                StratumSample(key, members, count, stratum_weight(count, len(members)))
-            )
-        return sample
+    engine = "batched"
+    strategy = "sts"

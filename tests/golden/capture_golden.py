@@ -1,0 +1,37 @@
+"""Capture the golden cross-system reference outputs.
+
+Runs every system over the fixed golden workload/seed and writes
+``systems_golden.json``.  The checked-in copy was produced by the
+*pre-runtime-refactor* implementations (the per-system ``_execute`` loops);
+``tests/test_golden_equivalence.py`` asserts the unified runtime still
+reproduces it number for number.
+
+Regenerate only when an intentional statistical change lands::
+
+    PYTHONPATH=src python tests/golden/capture_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from golden_config import (  # noqa: E402
+    GOLDEN_PATH,
+    golden_cases,
+    report_fingerprint,
+)
+
+
+def main() -> None:
+    payload = {name: report_fingerprint(run()) for name, run in golden_cases()}
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    print(f"wrote {len(payload)} cases to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,50 @@ class TestCommands:
         assert code == 0
         assert "0.000%" in out  # native stays exact
 
+    def test_compare_unsupported_parallelism_fails_loudly(self, capsys):
+        """--parallelism with a batch-only strategy: explicit error, exit 2."""
+        code = main(
+            ["compare", "--rate", "1000", "--duration", "4",
+             "--systems", "spark-srs", "--parallelism", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "parallelism=2 is not supported" in err
+        assert "srs" in err
+
+    def test_chunk_size_applies_to_all_systems(self):
+        """Every system accepts --chunk-size (no silent fallback)."""
+        code, out = run_cli(
+            ["compare", "--rate", "1000", "--duration", "4",
+             "--chunk-size", "128",
+             "--systems", "spark-streamapprox", "spark-srs", "spark-sts",
+             "native-spark", "native-flink", "flink-streamapprox",
+             "native-streamapprox"]
+        )
+        assert code == 0
+        assert "native-streamapprox" in out
+
+    def test_parallelism_applies_to_all_oasrs_systems(self, monkeypatch):
+        """--parallelism drives every OASRS system through the CLI."""
+        monkeypatch.setenv("REPRO_NO_MP", "1")  # in-process shards: fast, same path
+        code, out = run_cli(
+            ["compare", "--rate", "1000", "--duration", "4",
+             "--parallelism", "2",
+             "--systems", "spark-streamapprox", "flink-streamapprox",
+             "native-streamapprox"]
+        )
+        assert code == 0
+        assert "flink-streamapprox" in out
+
+    def test_compare_via_broker(self):
+        code, out = run_cli(
+            ["compare", "--rate", "1000", "--duration", "4", "--via-broker",
+             "--broker-partitions", "3", "--broker-members", "2",
+             "--systems", "spark-streamapprox", "flink-streamapprox"]
+        )
+        assert code == 0
+        assert "spark-streamapprox" in out and "█" in out
+
     def test_sweep_prints_series(self):
         code, out = run_cli(
             ["sweep", "--rate", "2000", "--duration", "4",

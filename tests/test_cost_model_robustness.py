@@ -37,17 +37,9 @@ def stream():
 
 
 def run_with_costs(cls, stream, costs, fraction=0.6):
-    """Run a batched system with a custom CostProfile injected."""
-    system = cls(QUERY, WINDOW, SystemConfig(sampling_fraction=fraction))
-    original = system._make_context
-
-    def patched():
-        ctx = original()
-        ctx.cluster.costs = costs
-        return ctx
-
-    system._make_context = patched
-    return system.run(stream)
+    """Run a system with a custom CostProfile (first-class in SystemConfig)."""
+    config = SystemConfig(sampling_fraction=fraction, costs=costs)
+    return cls(QUERY, WINDOW, config).run(stream)
 
 
 class TestOrderingsSurvivePerturbation:
