@@ -4,7 +4,9 @@
 #   make smoke      — fast end-to-end sanity run of examples/quickstart.py
 #   make bench      — only the figure-reproduction benchmarks
 #   make bench-json — benchmarks with machine-readable results for
-#                     trajectory tracking (benchmarks/results/bench.json)
+#                     trajectory tracking (benchmarks/results/bench.json);
+#                     includes the budget-loop convergence gate
+#                     (REPRO_ADAPT_MAX_INTERVALS tunes its deadline)
 #   make check      — test + smoke (what CI runs on every push/PR)
 
 PYTHON ?= python

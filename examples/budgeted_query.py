@@ -12,7 +12,10 @@ target.  This example exercises both, directly on the core API:
    the Pulsar-style token cost model,
 3. the adaptive controller then runs a live loop: interval after interval
    it measures the realised error bound and grows/decays the sample size
-   until the target is met at minimum cost.
+   until the target is met at minimum cost,
+4. the same loop end-to-end: ``SystemConfig(budget=…)`` hands the whole
+   plan → drive → observe → re-budget cycle to the unified runtime, which
+   records the per-interval trajectory on the `SystemReport`.
 
 Run:  python examples/budgeted_query.py
 """
@@ -23,14 +26,20 @@ from repro import (
     AccuracyBudget,
     AdaptiveSampleSizeController,
     LatencyBudget,
+    NativeStreamApproxSystem,
     OASRSSampler,
     ResourceBudget,
+    StreamQuery,
+    SystemConfig,
     VirtualCostFunction,
     WaterFillingAllocation,
+    WindowConfig,
     approximate_mean,
     estimate_error,
 )
 from repro.core.query import StratumStats
+from repro.metrics import format_trajectory
+from repro.workloads.drift import drifting_stream, rate_swap_schedule
 
 
 def interval_items(rng):
@@ -83,6 +92,23 @@ def main() -> None:
               f"({bound.relative_margin:.3%} relative)")
         policy.total = controller.update(bound.relative_margin)
     print("  → converged" if bound.relative_margin <= 0.005 else "  → still adapting")
+
+    # --- 3. the same loop end-to-end, through the runtime -------------------
+    # A rate swap halfway through the run shifts which sub-stream dominates;
+    # the budget controller re-derives each interval's sample size from the
+    # observed statistics and the measured margin.
+    print("\nend-to-end: SystemConfig(budget=AccuracyBudget(0.5)) on a drift stream")
+    stream = drifting_stream(rate_swap_schedule(2000, 40, 10.0), seed=5)
+    query = StreamQuery(key_fn=lambda it: it[0], value_fn=lambda it: it[1],
+                        kind="mean", name="drift-mean")
+    system = NativeStreamApproxSystem(
+        query,
+        WindowConfig(length=10.0, slide=5.0),
+        SystemConfig(sampling_fraction=0.05,  # first-interval seed only
+                     budget=AccuracyBudget(target_margin=0.5)),
+    )
+    report = system.run(stream)
+    print(format_trajectory(report, target_margin=0.5))
 
 
 if __name__ == "__main__":

@@ -49,6 +49,8 @@ from .core import (
     oasrs_sample,
 )
 from .runtime import (
+    AdaptationPoint,
+    BudgetController,
     ExecutionPlan,
     ListSource,
     PlanError,
@@ -80,7 +82,9 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_SYSTEMS",
     "AccuracyBudget",
+    "AdaptationPoint",
     "AdaptiveSampleSizeController",
+    "BudgetController",
     "DistributedOASRS",
     "ErrorBound",
     "ExecutionPlan",

@@ -25,6 +25,20 @@ silently ignored.  ``--via-broker`` replays the workload through the
 in-memory Kafka-style aggregator first and feeds every system from a
 consumer group over the topic's partitions.
 
+Instead of a fixed ``--fraction``, a *query budget* turns on the paper's
+§4.2 adaptive loop — the sample size then re-derives every interval from
+the observed statistics (at most one of):
+
+* ``--target-margin M`` — accuracy budget: hold the CI half-width ≤ M,
+* ``--latency-budget S`` — token-cost latency budget: fit each interval
+  into S seconds,
+* ``--cores-budget N``  — resource budget: stay within N cores.
+
+Budget runs print the per-interval adaptation trajectory (sample budget
+chosen vs. margin measured).  The ``drift`` workload (a rate swap between
+sub-streams mid-run) is the natural stress test:
+``python -m repro compare --workload drift --target-margin 0.5``.
+
 The CLI is a thin veneer over the same public API the benchmarks use; it
 exists so a fresh checkout can produce paper-shaped numbers in one line.
 """
@@ -37,6 +51,8 @@ from typing import Dict, List
 
 from .aggregator.broker import Broker
 from .aggregator.producer import Producer
+from .core.budget import AccuracyBudget, LatencyBudget, ResourceBudget
+from .metrics.adaptation import format_trajectory
 from .metrics.ascii_chart import bar_chart, line_chart
 from .metrics.collector import ExperimentCollector
 from .runtime import PlanError, TopicSource
@@ -47,6 +63,7 @@ from .system import (
     SystemConfig,
     WindowConfig,
 )
+from .workloads.drift import drifting_stream, rate_swap_schedule
 from .workloads.netflow import flow_bytes, flow_protocol, netflow_stream
 from .workloads.synthetic import stream_by_rates
 from .workloads.taxi import ride_borough, ride_distance, taxi_stream
@@ -71,6 +88,23 @@ def make_workload(name: str, rate: float, duration: float, seed: int):
         query = StreamQuery(
             key_fn=lambda it: it[0], value_fn=lambda it: it[1], kind="mean",
             name="window-mean",
+        )
+    elif name == "drift":
+        # Rate swap halfway through the run: A dominates, then C does — the
+        # §1 adaptivity scenario, and the stress test for budget-driven runs.
+        # All three sub-streams scale with --rate (same 80/19/1 shares as the
+        # gaussian workload), so the aggregate rate and the dominance swap
+        # hold at any --rate.
+        stream = drifting_stream(
+            rate_swap_schedule(
+                high=rate * 0.8, low=rate * 0.01,
+                phase_seconds=duration / 2, mid=rate * 0.19,
+            ),
+            seed=seed,
+        )
+        query = StreamQuery(
+            key_fn=lambda it: it[0], value_fn=lambda it: it[1], kind="mean",
+            name="drift-mean",
         )
     elif name == "netflow":
         stream = netflow_stream(total_rate=rate, duration=duration, seed=seed)
@@ -104,6 +138,30 @@ def _broker_with_stream(stream, query, partitions: int) -> Broker:
     return broker
 
 
+def _budget_from_args(args):
+    """Build the query budget from the (mutually exclusive) budget flags."""
+    chosen = [
+        flag
+        for flag, value in (
+            ("--target-margin", args.target_margin),
+            ("--latency-budget", args.latency_budget),
+            ("--cores-budget", args.cores_budget),
+        )
+        if value is not None
+    ]
+    if len(chosen) > 1:
+        raise PlanError(
+            f"at most one query budget may be given, got {' and '.join(chosen)}"
+        )
+    if args.target_margin is not None:
+        return AccuracyBudget(target_margin=args.target_margin)
+    if args.latency_budget is not None:
+        return LatencyBudget(max_seconds=args.latency_budget)
+    if args.cores_budget is not None:
+        return ResourceBudget(workers=args.cores_budget)
+    return None
+
+
 def _run_systems(
     names: List[str],
     stream,
@@ -114,12 +172,16 @@ def _run_systems(
     parallelism: int = 1,
     broker=None,
     broker_members: int = 2,
+    budget=None,
 ) -> Dict[str, object]:
     reports = {}
     for name in names:
         cls = _CLI_SYSTEMS[name]
         config = SystemConfig(
             sampling_fraction=fraction if name not in _UNSAMPLED else 1.0,
+            # Unsampled systems have no sample size to adapt; they run as the
+            # exact baselines alongside the budget-driven ones.
+            budget=budget if name not in _UNSAMPLED else None,
             chunk_size=chunk_size,
             parallelism=parallelism,
         )
@@ -152,16 +214,20 @@ def cmd_compare(args) -> int:
         else None
     )
     try:
+        budget = _budget_from_args(args)
         reports = _run_systems(
             args.systems, stream, query, args.fraction, window,
             chunk_size=args.chunk_size, parallelism=args.parallelism,
-            broker=broker, broker_members=args.broker_members,
+            broker=broker, broker_members=args.broker_members, budget=budget,
         )
     except PlanError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print(f"workload={args.workload} items={len(stream):,} fraction={args.fraction}\n")
+    knob = (
+        f"budget={budget}" if budget is not None else f"fraction={args.fraction}"
+    )
+    print(f"workload={args.workload} items={len(stream):,} {knob}\n")
     print(f"{'system':>22} {'items/s':>12} {'loss':>9} {'latency(s)':>11}")
     for name, report in reports.items():
         print(
@@ -173,6 +239,13 @@ def cmd_compare(args) -> int:
         {name: r.throughput for name, r in reports.items()},
         title="throughput (items per simulated second)",
     ))
+    if budget is not None:
+        target = getattr(budget, "target_margin", None)
+        for name, report in reports.items():
+            if not report.adaptation:
+                continue
+            print(f"\nadaptation trajectory — {name}")
+            print(format_trajectory(report, target))
     return 0
 
 
@@ -186,6 +259,11 @@ def cmd_sweep(args) -> int:
     )
     collector = ExperimentCollector(f"sweep_{args.workload}")
     try:
+        if _budget_from_args(args) is not None:
+            raise PlanError(
+                "sweep varies the sampling fraction; budget flags only apply "
+                "to 'compare'"
+            )
         for fraction in args.fractions:
             sampled = [name for name in args.systems if name not in _UNSAMPLED]
             reports = _run_systems(
@@ -220,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     def add_common(p):
-        p.add_argument("--workload", choices=("gaussian", "netflow", "taxi"),
+        p.add_argument("--workload", choices=("gaussian", "drift", "netflow", "taxi"),
                        default="gaussian")
         p.add_argument("--rate", type=float, default=20_000,
                        help="aggregate arrival rate, items/s")
@@ -245,6 +323,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--broker-members", type=int, default=2,
                        dest="broker_members",
                        help="consumer-group members when --via-broker is set")
+        p.add_argument("--target-margin", type=float, default=None,
+                       dest="target_margin", metavar="M",
+                       help="accuracy budget: adapt the sample size per "
+                            "interval until the CI half-width stays ≤ M "
+                            "(replaces --fraction)")
+        p.add_argument("--latency-budget", type=float, default=None,
+                       dest="latency_budget", metavar="S",
+                       help="latency budget: per-interval sample size from "
+                            "the token cost model for S seconds/interval")
+        p.add_argument("--cores-budget", type=int, default=None,
+                       dest="cores_budget", metavar="N",
+                       help="resource budget: per-interval sample size from "
+                            "an N-core allotment")
 
     compare = sub.add_parser("compare", help="run systems at one fraction")
     add_common(compare)

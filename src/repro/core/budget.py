@@ -192,11 +192,21 @@ class VirtualCostFunction:
 class AdaptiveSampleSizeController:
     """The §4.2 feedback loop: grow the sample when the error is too large.
 
-    After each interval, call ``update`` with the measured relative error
-    margin.  If it exceeds ``target_relative_margin`` the controller scales
-    the sample size up by ``growth``; when there is at least 2× slack it
-    decays by ``decay`` to reclaim throughput.  Sizes are clamped to
-    [min_size, max_size].
+    After each interval, call ``update`` with the measured error margin
+    (relative or absolute — the controller only compares it against
+    ``target_relative_margin``, which must be expressed in the same units).
+    If it exceeds the target the controller scales the sample size up by
+    ``growth``; when there is at least 2× slack it decays by ``decay`` to
+    reclaim throughput.  Sizes are clamped to [min_size, max_size].
+
+    Both directions round *symmetrically to the nearest integer* (growth
+    additionally rounds up so it always makes progress from tiny sizes).
+    Truncating the decay with ``int()`` instead — as an earlier version
+    did — loses up to one extra item per step, which for small sizes turns
+    a gentle multiplicative decay into a ratchet straight down to
+    ``min_size`` followed by grow/decay oscillation.  With nearest-integer
+    rounding the decay settles at the fixed point ``s`` where
+    ``round(s × decay) == s`` instead.
     """
 
     initial_size: int
@@ -223,7 +233,10 @@ class AdaptiveSampleSizeController:
         if measured_relative_margin > self.target_relative_margin:
             proposed = int(math.ceil(self.current_size * self.growth))
         elif measured_relative_margin < self.target_relative_margin / 2:
-            proposed = int(self.current_size * self.decay)
+            # Round-half-up, not int(): symmetric with the growth direction,
+            # so small sizes settle at round(s·decay) == s instead of
+            # ratcheting one extra item per step down to min_size.
+            proposed = int(math.floor(self.current_size * self.decay + 0.5))
         else:
             proposed = self.current_size
         self.current_size = max(self.min_size, min(self.max_size, proposed))

@@ -196,6 +196,20 @@ class WaterFillingAllocation(AllocationPolicy):
             else {}
         )
 
+    def set_total(self, total: int) -> None:
+        """Re-target the budget and re-derive capacities from the last counts.
+
+        This is the actuation point of the §4.2 adaptive feedback loop: the
+        runtime's budget controller calls it between intervals, so the next
+        interval's water-filling uses the new budget immediately instead of
+        lagging one ``observe`` behind.
+        """
+        if total <= 0:
+            raise ValueError(f"total sample budget must be positive, got {total}")
+        self.total = total
+        if self._last_counts:
+            self._capacities = water_filling_capacities(self._last_counts, total)
+
     def capacity_for(self, key: Key, known_strata: int) -> int:
         if key in self._capacities:
             return self._capacities[key]
@@ -343,6 +357,22 @@ class OASRSSampler(Generic[T]):
     def set_policy(self, policy: AllocationPolicy) -> None:
         """Swap the allocation policy (used by the adaptive budget loop)."""
         self._policy = policy
+
+    def rebalance(self) -> None:
+        """Re-derive reservoir capacities from the (possibly updated) policy.
+
+        ``close_interval`` already creates the next interval's reservoirs,
+        so a budget change applied *between* intervals (the §4.2 feedback
+        step) would otherwise only take effect one interval late.  Calling
+        this after updating the policy rebuilds the reservoirs with the new
+        capacities.  Only empty reservoirs are replaced, so the call is
+        safe at any point — mid-interval it leaves active reservoirs alone.
+        """
+        capacities = self._policy.rebalance(self._known_keys)
+        for key, capacity in capacities.items():
+            reservoir = self._reservoirs.get(key)
+            if reservoir is None or reservoir.seen == 0:
+                self._reservoirs[key] = Reservoir(capacity, rng=self._rng)
 
 
 def oasrs_sample(

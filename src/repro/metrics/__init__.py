@@ -1,6 +1,12 @@
 """Experiment measurement and reporting utilities."""
 
 from .accuracy import coverage_rate, mean_timeseries, timeseries_deviation
+from .adaptation import (
+    budget_series,
+    convergence_interval,
+    format_trajectory,
+    margin_series,
+)
 from .ascii_chart import bar_chart, line_chart
 from .collector import ExperimentCollector, Measurement, format_table
 
@@ -8,9 +14,13 @@ __all__ = [
     "ExperimentCollector",
     "Measurement",
     "bar_chart",
+    "budget_series",
+    "convergence_interval",
     "coverage_rate",
     "format_table",
+    "format_trajectory",
     "line_chart",
+    "margin_series",
     "mean_timeseries",
     "timeseries_deviation",
 ]

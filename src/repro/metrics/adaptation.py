@@ -1,0 +1,87 @@
+"""Rendering helpers for the budget-adaptation trajectory.
+
+Budget-driven runs (``SystemConfig(budget=…)``) record one
+`repro.runtime.control.AdaptationPoint` per pane on the
+`repro.runtime.report.SystemReport`.  These helpers turn that trajectory
+into the series/tables the CLI and the convergence benchmark print: the
+per-interval sample budget, the measured CI half-width against the target,
+and the interval at which the loop first meets (and then holds) the
+target.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..runtime.control import AdaptationPoint
+from ..runtime.report import SystemReport
+
+__all__ = [
+    "budget_series",
+    "margin_series",
+    "convergence_interval",
+    "format_trajectory",
+]
+
+
+def _points(report_or_points) -> Sequence[AdaptationPoint]:
+    if isinstance(report_or_points, SystemReport):
+        return report_or_points.adaptation
+    return report_or_points
+
+
+def budget_series(report_or_points) -> List[Tuple[float, float]]:
+    """(interval end, chosen sample budget) pairs — the adaptation curve."""
+    return [(p.interval_end, float(p.sample_budget)) for p in _points(report_or_points)]
+
+
+def margin_series(report_or_points) -> List[Tuple[float, float]]:
+    """(interval end, measured CI half-width) pairs."""
+    return [(p.interval_end, p.measured_margin) for p in _points(report_or_points)]
+
+
+def convergence_interval(report_or_points, target_margin: float) -> Optional[int]:
+    """First 1-based interval from which the margin stays ≤ the target.
+
+    Returns ``None`` when the trajectory never reaches the target or does
+    not hold it through the last recorded pane — the acceptance metric for
+    the §4.2 loop ("reaches *and holds*").
+    """
+    points = _points(report_or_points)
+    held_since: Optional[int] = None
+    for index, point in enumerate(points, start=1):
+        if point.measured_margin <= target_margin:
+            if held_since is None:
+                held_since = index
+        else:
+            held_since = None
+    return held_since
+
+
+def format_trajectory(report_or_points, target_margin: Optional[float] = None) -> str:
+    """Fixed-width per-interval table of the control loop's decisions."""
+    points = _points(report_or_points)
+    lines = [
+        f"{'interval':>8} {'end(s)':>8} {'items/ivl':>10} {'budget':>8} "
+        f"{'margin':>10} {'rel':>8}"
+    ]
+    for index, p in enumerate(points, start=1):
+        marker = ""
+        if target_margin is not None:
+            marker = "  ✓" if p.measured_margin <= target_margin else "  ✗"
+        rel = f"{p.relative_margin:8.3%}" if p.relative_margin != float("inf") else "     inf"
+        lines.append(
+            f"{index:>8} {p.interval_end:8.1f} {p.observed_items:>10,} "
+            f"{p.sample_budget:>8,} {p.measured_margin:10.4g} {rel}{marker}"
+        )
+    if target_margin is not None:
+        reached = convergence_interval(points, target_margin)
+        lines.append(
+            f"target margin {target_margin:g}: "
+            + (
+                f"reached and held from interval {reached}"
+                if reached is not None
+                else "not held by the end of the run"
+            )
+        )
+    return "\n".join(lines)

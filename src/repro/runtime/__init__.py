@@ -16,7 +16,8 @@ porting a new system means registering a strategy and/or naming an
 ``docs/architecture.md``).
 """
 
-from .config import StreamQuery, SystemConfig, WindowConfig
+from .config import QueryBudget, StreamQuery, SystemConfig, WindowConfig
+from .control import AdaptationPoint, BudgetController
 from .driver import execute_plan, run_batched, run_direct, run_pipelined
 from .plan import ENGINES, ExecutionPlan, PlanError, build_plan
 from .report import (
@@ -24,6 +25,7 @@ from .report import (
     WindowResult,
     accuracy_loss,
     estimate_pane,
+    estimate_pane_stats,
     exact_panes,
     join_ground_truth,
 )
@@ -39,11 +41,14 @@ from .strategies import (
 
 __all__ = [
     "ENGINES",
+    "AdaptationPoint",
     "BoundStrategy",
+    "BudgetController",
     "ExecutionPlan",
     "ListSource",
     "PlanError",
     "PlanSource",
+    "QueryBudget",
     "SamplingStrategy",
     "StreamQuery",
     "SystemConfig",
@@ -56,6 +61,7 @@ __all__ = [
     "available_strategies",
     "build_plan",
     "estimate_pane",
+    "estimate_pane_stats",
     "exact_panes",
     "execute_plan",
     "full_weight_sample",

@@ -15,11 +15,16 @@ A run is described by three pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Optional
+from typing import Callable, Hashable, Optional, Union
 
+from ..core.budget import AccuracyBudget, LatencyBudget, ResourceBudget
 from ..engine.costs import CostProfile
 
-__all__ = ["StreamQuery", "WindowConfig", "SystemConfig"]
+__all__ = ["StreamQuery", "WindowConfig", "SystemConfig", "QueryBudget"]
+
+#: The three user-facing budget kinds the virtual cost function translates
+#: into per-interval sample sizes (§2.3 / §7).
+QueryBudget = Union[AccuracyBudget, LatencyBudget, ResourceBudget]
 
 
 @dataclass(frozen=True)
@@ -99,7 +104,21 @@ class WindowConfig:
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Deployment shape + sampling fraction for one run.
+    """Deployment shape + sampling fraction (or query budget) for one run.
+
+    How much to sample is specified one of two ways:
+
+    * ``sampling_fraction`` — a fixed fraction, the classic benchmark knob.
+      The per-interval sample budget is frozen at plan-build time.
+    * ``budget`` — a user-facing query budget (`AccuracyBudget`,
+      `LatencyBudget`, or `ResourceBudget` from `repro.core.budget`).  The
+      runtime then closes the paper's §4.2 loop: the first interval starts
+      from ``sampling_fraction`` (now a seed, not a contract), and after
+      every pane the observed per-stratum statistics and measured CI margin
+      feed the virtual cost function + adaptive controller
+      (`repro.runtime.control.BudgetController`), re-deriving the next
+      interval's sample budget.  Requires a sampling strategy — the planner
+      rejects ``budget`` with strategy ``none``.
 
     ``nodes``/``cores_per_node`` describe the *simulated* cluster the cost
     model charges against; ``chunk_size`` and ``parallelism`` control the
@@ -127,6 +146,10 @@ class SystemConfig:
     """
 
     sampling_fraction: float = 0.6
+    #: Optional query budget; when set, the sample size adapts per interval
+    #: (see class docstring) instead of staying frozen at
+    #: ``sampling_fraction``.
+    budget: Optional[QueryBudget] = None
     batch_interval: float = 1.0
     nodes: int = 1
     cores_per_node: int = 8
@@ -143,6 +166,13 @@ class SystemConfig:
         if not 0 < self.sampling_fraction <= 1:
             raise ValueError(
                 f"sampling_fraction must be in (0, 1], got {self.sampling_fraction}"
+            )
+        if self.budget is not None and not isinstance(
+            self.budget, (AccuracyBudget, LatencyBudget, ResourceBudget)
+        ):
+            raise ValueError(
+                f"budget must be an AccuracyBudget, LatencyBudget, or "
+                f"ResourceBudget, got {type(self.budget).__name__}"
             )
         if self.batch_interval <= 0:
             raise ValueError("batch_interval must be positive")

@@ -39,8 +39,9 @@ from ..core.strata import WeightedSample, combine_worker_samples, stratum_weight
 from ..engine.batched.context import StreamingContext
 from ..engine.cluster import SimulatedCluster
 from ..engine.pipelined.dataflow import Pipeline
+from .control import AdaptationPoint, BudgetController
 from .plan import ExecutionPlan, PlanError
-from .report import WindowResult, estimate_pane
+from .report import WindowResult, estimate_pane, estimate_pane_stats
 from .strategies import full_weight_sample, get_strategy
 
 __all__ = ["execute_plan", "run_batched", "run_pipelined", "run_direct"]
@@ -53,6 +54,30 @@ HandleBatch = Callable[[StreamingContext, Sequence[object]], WeightedSample]
 _STRATA_HINT_PREFIX = 20_000
 
 
+def _per_slide_items(stream, window) -> float:
+    """Expected items per slide interval, from the stream's arrival rate.
+
+    The observed timestamp span ``last_ts − first_ts`` covers only
+    ``n − 1`` inter-arrival gaps, so dividing ``n`` items by it
+    overestimates the rate by ``n/(n−1)`` — for a stream that tiles its
+    slides exactly (regular arrivals over a whole number of slides) that
+    fencepost inflates the per-slide estimate, and with it every sample
+    budget derived from it.  Scaling the span by ``n/(n−1)`` (equivalently:
+    ``n − 1`` items over the span) restores the exact rate for regular
+    streams and is an O(1/n) correction for irregular ones.
+    """
+    n = len(stream)
+    if n == 0:
+        return 1.0
+    span = stream[-1][0] - stream[0][0]
+    if n == 1 or span <= 0.0:
+        # One item, or all items share a timestamp: one interval's worth.
+        return float(n)
+    # min(n, ·) mirrors the old ``max(span, slide)`` clamp: a stream shorter
+    # than one slide contributes all its items to a single interval.
+    return min(float(n), (n - 1) * window.slide / span)
+
+
 def _interval_budget(stream, window, config) -> int:
     """Per-slide-interval sample budget for the interval engines.
 
@@ -60,12 +85,14 @@ def _interval_budget(stream, window, config) -> int:
     average arrival rate — shared by the pipelined and direct engines so
     the same `SystemConfig` always samples at the same fraction.
     """
-    if stream:
-        duration = max(stream[-1][0] - stream[0][0], window.slide)
-        per_slide = len(stream) * window.slide / duration
-    else:
-        per_slide = 1.0
-    return max(1, int(config.sampling_fraction * per_slide))
+    return max(1, int(config.sampling_fraction * _per_slide_items(stream, window)))
+
+
+def _make_controller(plan: ExecutionPlan) -> Optional[BudgetController]:
+    """The run's budget controller, or None for fixed-fraction plans."""
+    if plan.config.budget is None:
+        return None
+    return BudgetController(plan.config.budget, plan.config, plan.window)
 
 
 def _strata_hint(stream, key_fn) -> int:
@@ -87,21 +114,28 @@ def _strata_hint(stream, key_fn) -> int:
 def execute_plan(
     plan: ExecutionPlan,
     handle_batch: Optional[HandleBatch] = None,
+    adaptation_log: Optional[List[AdaptationPoint]] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Run a plan on its engine; returns (pane results, charged cluster).
 
     ``handle_batch`` overrides the batched engine's per-batch sampling
     hook — the extension point `repro.system.spark_base.BatchedSystem`
-    uses for ad-hoc experimental systems.
+    uses for ad-hoc experimental systems.  ``adaptation_log``, when given,
+    receives the budget controller's per-interval `AdaptationPoint`s for
+    budget-driven plans (it stays empty for fixed-fraction plans).
     """
     if plan.engine == "batched":
-        return run_batched(plan, handle_batch=handle_batch)
+        return run_batched(
+            plan, handle_batch=handle_batch, adaptation_log=adaptation_log
+        )
     if handle_batch is not None:
         raise PlanError("handle_batch overrides only apply to the batched engine")
     if plan.engine == "pipelined":
-        return run_pipelined(plan)
+        return run_pipelined(plan, adaptation_log=adaptation_log)
     if plan.engine == "direct":
-        results, cluster, _sampling_seconds = run_direct(plan)
+        results, cluster, _sampling_seconds = run_direct(
+            plan, adaptation_log=adaptation_log
+        )
         return results, cluster
     raise PlanError(f"unknown engine {plan.engine!r}")
 
@@ -114,8 +148,16 @@ def execute_plan(
 def run_batched(
     plan: ExecutionPlan,
     handle_batch: Optional[HandleBatch] = None,
+    adaptation_log: Optional[List[AdaptationPoint]] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
-    """Micro-batch loop: per-batch sampling, per-slide pane estimation."""
+    """Micro-batch loop: per-batch sampling, per-slide pane estimation.
+
+    Budget-driven plans add a control step at every pane close: the pane's
+    stratum statistics and measured margin go through the
+    `BudgetController`, and the resulting per-interval sample budget is
+    re-expressed as the sampling fraction the strategy applies to the
+    following micro-batches.
+    """
     stream = plan.source.events()
     config, window, query = plan.config, plan.window, plan.query
     ctx = StreamingContext(
@@ -124,8 +166,17 @@ def run_batched(
         cores_per_node=config.cores_per_node,
         costs=config.costs,
     )
+    bound_strategy = None
     if handle_batch is None:
-        handle_batch = get_strategy(plan.strategy).bind(plan).sample_batch
+        bound_strategy = get_strategy(plan.strategy).bind(plan)
+        handle_batch = bound_strategy.sample_batch
+    controller = _make_controller(plan)
+    if controller is not None and bound_strategy is not None:
+        # Seed the first interval's fraction from the budget (latency and
+        # resource budgets bind before any pane has been observed).
+        per_slide_est = _per_slide_items(stream, window)
+        initial_total = controller.initial_total(int(per_slide_est))
+        bound_strategy.set_sampling_fraction(initial_total / max(1.0, per_slide_est))
     batcher = ctx.batcher()
     per_slide = int(round(window.slide / config.batch_interval))
     per_window = int(round(window.length / config.batch_interval))
@@ -138,9 +189,18 @@ def run_batched(
             del history[: len(history) - per_window]
         if (batch.index + 1) % per_slide == 0:
             pane_sample = combine_worker_samples(history[-per_window:])
-            estimate, bound, groups = estimate_pane(
+            estimate, bound, groups, strata = estimate_pane_stats(
                 pane_sample, query, config.confidence
             )
+            if controller is not None:
+                next_total = controller.on_pane(
+                    strata, bound, pane_sample.total_count
+                )
+                if bound_strategy is not None:
+                    observed = controller.last_point.observed_items
+                    bound_strategy.set_sampling_fraction(
+                        min(1.0, next_total / max(1, observed))
+                    )
             results.append(
                 WindowResult(
                     end=batch.end,
@@ -152,6 +212,8 @@ def run_batched(
                     total_items=pane_sample.total_count,
                 )
             )
+    if controller is not None and adaptation_log is not None:
+        adaptation_log.extend(controller.trajectory)
     return results, ctx.cluster
 
 
@@ -160,8 +222,16 @@ def run_batched(
 # ---------------------------------------------------------------------------
 
 
-def run_pipelined(plan: ExecutionPlan) -> Tuple[List[WindowResult], SimulatedCluster]:
-    """Operator pipeline: per-item (or chunked) flow, panes at watermarks."""
+def run_pipelined(
+    plan: ExecutionPlan,
+    adaptation_log: Optional[List[AdaptationPoint]] = None,
+) -> Tuple[List[WindowResult], SimulatedCluster]:
+    """Operator pipeline: per-item (or chunked) flow, panes at watermarks.
+
+    Budget-driven plans run the control step inside the pane aggregation:
+    each fired pane's statistics re-derive the shared water-filling
+    policy's budget before the sampling operator opens the next interval.
+    """
     stream = plan.source.events()
     config, window, query = plan.config, plan.window, plan.query
     cluster = SimulatedCluster(
@@ -169,17 +239,28 @@ def run_pipelined(plan: ExecutionPlan) -> Tuple[List[WindowResult], SimulatedClu
     )
     confidence = config.confidence
     bound_strategy = get_strategy(plan.strategy).bind(plan)
+    controller = _make_controller(plan)
 
     if bound_strategy.samples_intervals:
+        if controller is not None:
+            initial = controller.initial_total(int(_per_slide_items(stream, window)))
+        else:
+            initial = _interval_budget(stream, window, config)
         # §2.3: sub-stream sources are declared at the aggregator; give the
         # allocator the stratum count so the first interval splits fairly.
         sampler = bound_strategy.interval_sampler(
-            _interval_budget(stream, window, config),
+            initial,
             _strata_hint(stream, query.key_fn) if stream else 1,
         )
 
         def aggregate_samples(merged):
-            estimate, bound, groups = estimate_pane(merged, query, confidence)
+            estimate, bound, groups, strata = estimate_pane_stats(
+                merged, query, confidence
+            )
+            if controller is not None:
+                bound_strategy.set_interval_budget(
+                    controller.on_pane(strata, bound, merged.total_count)
+                )
             return estimate, bound, groups, merged.total_items, merged.total_count
 
         raw = (
@@ -241,6 +322,8 @@ def run_pipelined(plan: ExecutionPlan) -> Tuple[List[WindowResult], SimulatedClu
                 total_items=total,
             )
         )
+    if controller is not None and adaptation_log is not None:
+        adaptation_log.extend(controller.trajectory[: len(results)])
     return results, cluster
 
 
@@ -307,6 +390,7 @@ def _pane_stats(moment_sets) -> List[StratumStats]:
 
 def run_direct(
     plan: ExecutionPlan,
+    adaptation_log: Optional[List[AdaptationPoint]] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster, float]:
     """Interval loop over the raw sampling stack; no engine in the hot path.
 
@@ -324,10 +408,16 @@ def run_direct(
     results: List[WindowResult] = []
     if not stream:
         return results, cluster, 0.0
+    controller = _make_controller(plan)
+    if controller is not None:
+        initial = controller.initial_total(int(_per_slide_items(stream, window)))
+    else:
+        initial = _interval_budget(stream, window, config)
     # Per-interval budget shared with the pipelined engine, with the
     # declared strata splitting the first interval's allocation.
-    sampler = get_strategy(plan.strategy).bind(plan).interval_sampler(
-        _interval_budget(stream, window, config), _strata_hint(stream, query.key_fn)
+    bound_strategy = get_strategy(plan.strategy).bind(plan)
+    sampler = bound_strategy.interval_sampler(
+        initial, _strata_hint(stream, query.key_fn)
     )
     # Sharded samplers expose a whole-interval entry point; use it to skip
     # the per-item offer buffering (the executor chunks internally).
@@ -389,9 +479,18 @@ def run_direct(
             # and evaluate through the shared estimation path.
             history.append(sample)
             merged = combine_worker_samples(list(history))
-            value, bound, groups = estimate_pane(merged, query, config.confidence)
+            value, bound, groups, strata = estimate_pane_stats(
+                merged, query, config.confidence
+            )
             population = merged.total_count
             sampled = merged.total_items
+        if controller is not None:
+            # §4.2 feedback: re-derive the next interval's budget from this
+            # pane's statistics; the shared water-filling policy propagates
+            # it to the in-process and sharded samplers alike.
+            bound_strategy.set_interval_budget(
+                controller.on_pane(strata, bound, population)
+            )
         results.append(
             WindowResult(
                 end=pane_end,
@@ -403,4 +502,6 @@ def run_direct(
                 total_items=population,
             )
         )
+    if controller is not None and adaptation_log is not None:
+        adaptation_log.extend(controller.trajectory)
     return results, cluster, sampling_seconds

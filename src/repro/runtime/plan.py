@@ -83,7 +83,9 @@ def build_plan(
 
     Raises `PlanError` — with a message naming the offending combination —
     for unknown engines/strategies, a strategy the engine cannot drive,
-    ``parallelism > 1`` with a strategy that cannot shard, and batched
+    ``parallelism > 1`` with a strategy that cannot shard, a query
+    ``budget`` with the ``none`` strategy (nothing samples, so nothing can
+    adapt) or with a confidence level different from the run's, and batched
     windowing parameters that do not tile into micro-batches.
     """
     from .strategies import get_strategy  # deferred: strategies import this module
@@ -116,6 +118,25 @@ def build_plan(
             "does not sample intervals; set samples_intervals = True and "
             "implement interval_sampler"
         )
+    if config.budget is not None:
+        from ..core.budget import AccuracyBudget  # local: keep plan deps narrow
+
+        if strategy == "none":
+            raise PlanError(
+                f"a query budget ({type(config.budget).__name__}) requires a "
+                "sampling strategy; strategy 'none' processes every item and "
+                "has no sample size to adapt (use 'srs', 'sts', or 'oasrs')"
+            )
+        if (
+            isinstance(config.budget, AccuracyBudget)
+            and abs(config.budget.confidence - config.confidence) > 1e-9
+        ):
+            raise PlanError(
+                f"AccuracyBudget confidence ({config.budget.confidence}) must "
+                f"match the run's confidence ({config.confidence}); the §4.2 "
+                "feedback loop compares the budget's target margin against "
+                "the margins measured at the run's confidence level"
+            )
     if config.parallelism > 1 and not strat.supports_parallelism:
         raise PlanError(
             f"parallelism={config.parallelism} is not supported with the "

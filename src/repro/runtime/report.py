@@ -25,15 +25,23 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.error import ErrorBound, estimate_error
-from ..core.query import approximate_mean, approximate_sum, grouped_mean, grouped_sum
+from ..core.query import (
+    StratumStats,
+    approximate_mean,
+    approximate_sum,
+    grouped_mean,
+    grouped_sum,
+)
 from ..core.strata import WeightedSample
 from ..engine.batched.dstream import Batcher, SlidingWindower
 from .config import StreamQuery, WindowConfig
+from .control import AdaptationPoint
 
 __all__ = [
     "WindowResult",
     "SystemReport",
     "estimate_pane",
+    "estimate_pane_stats",
     "exact_panes",
     "accuracy_loss",
     "join_ground_truth",
@@ -101,6 +109,11 @@ class SystemReport:
     results: List[WindowResult]
     virtual_seconds: float
     items_total: int
+    #: Per-interval budget-adaptation trajectory (empty for fixed-fraction
+    #: runs): one `repro.runtime.control.AdaptationPoint` per pane, showing
+    #: the measured margin and the sample budget chosen for the next
+    #: interval — the §4.2 loop made visible.
+    adaptation: List[AdaptationPoint] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -139,6 +152,21 @@ def estimate_pane(
     confidence: float,
 ) -> Tuple[float, ErrorBound, Dict[Hashable, float]]:
     """Evaluate the query on a pane's weighted sample with error bounds."""
+    value, bound, groups, _strata = estimate_pane_stats(sample, query, confidence)
+    return value, bound, groups
+
+
+def estimate_pane_stats(
+    sample: WeightedSample,
+    query: StreamQuery,
+    confidence: float,
+) -> Tuple[float, ErrorBound, Dict[Hashable, float], List[StratumStats]]:
+    """`estimate_pane` plus the per-stratum statistics behind the estimate.
+
+    The extra `StratumStats` list is what the budget control loop feeds
+    back into `VirtualCostFunction.observe` — variance and count per
+    stratum, exactly the Equation-9 inputs.
+    """
     if query.kind == "sum":
         result = approximate_sum(sample, query.value_fn)
     else:
@@ -150,7 +178,7 @@ def estimate_pane(
             groups = grouped_sum(sample, query.group_fn, query.value_fn)
         else:
             groups = grouped_mean(sample, query.group_fn, query.value_fn)
-    return result.value, bound, groups
+    return result.value, bound, groups, list(result.strata)
 
 
 def exact_panes(

@@ -113,15 +113,39 @@ class SamplingStrategy:
 
 
 class BoundStrategy:
-    """Per-run strategy state; engine drivers call the role methods."""
+    """Per-run strategy state; engine drivers call the role methods.
+
+    Besides the two engine roles, a bound strategy is the *actuation
+    surface* of the budget control loop (`repro.runtime.control`): between
+    panes the drivers call ``set_sampling_fraction`` (batched role) or
+    ``set_interval_budget`` (interval role) to re-derive the next
+    interval's sample size from the controller's decision.  Fixed-fraction
+    runs never call either, so their execution is bit-for-bit unchanged.
+    """
 
     def __init__(self, strategy: SamplingStrategy, plan: ExecutionPlan) -> None:
         self.strategy = strategy
         self.plan = plan
+        self._fraction_override: float = None  # type: ignore[assignment]
 
     @property
     def samples_intervals(self) -> bool:
         return self.strategy.samples_intervals
+
+    @property
+    def sampling_fraction(self) -> float:
+        """The fraction batched-role sampling uses this batch.
+
+        ``plan.config.sampling_fraction`` unless the budget controller has
+        overridden it via ``set_sampling_fraction``.
+        """
+        if self._fraction_override is not None:
+            return self._fraction_override
+        return self.plan.config.sampling_fraction
+
+    def set_sampling_fraction(self, fraction: float) -> None:
+        """Budget-loop actuation (batched role): next batches sample at this rate."""
+        self._fraction_override = min(1.0, max(0.0, fraction))
 
     def sample_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
         """Sample one micro-batch, charging costs on ``ctx.cluster``."""
@@ -134,6 +158,13 @@ class BoundStrategy:
         raise PlanError(
             f"strategy {self.strategy.name!r} does not sample per interval"
         )
+
+    def set_interval_budget(self, total: int) -> None:
+        """Budget-loop actuation (interval role): re-target the next interval.
+
+        Only meaningful after ``interval_sampler``; strategies without an
+        interval role ignore it.
+        """
 
 
 @register_strategy
@@ -194,7 +225,7 @@ class _BoundSRS(BoundStrategy):
         config = self.plan.config
         rdd = ctx.rdd_of(items)
         sampled_rdd = rdd.sample(
-            config.sampling_fraction, rng=self._rng, chunked=config.chunk_size > 1
+            self.sampling_fraction, rng=self._rng, chunked=config.chunk_size > 1
         )
         kept = sampled_rdd.collect()
         ctx.cluster.process_items(len(kept))
@@ -234,7 +265,7 @@ class _BoundSTS(BoundStrategy):
         key_fn = self.plan.query.key_fn
         rdd = ctx.rdd_of(items)
         sampled_rdd = rdd.sample_by_key(
-            config.sampling_fraction,
+            self.sampling_fraction,
             key_fn=key_fn,
             exact=True,
             rng=self._rng,
@@ -296,12 +327,14 @@ class _BoundOASRS(BoundStrategy):
         self._sampler: OASRSSampler = None  # type: ignore[assignment]
         self._executor: ShardedExecutor = None  # type: ignore[assignment]
         self._policy: WaterFillingAllocation = None  # type: ignore[assignment]
+        self._interval_policy: WaterFillingAllocation = None  # type: ignore[assignment]
+        self._interval_sampler = None
 
     # -- batched role -----------------------------------------------------------
 
     def _ensure_batch_sampler(self, batch_size: int, strata_hint: int) -> None:
         config = self.plan.config
-        budget = max(1, int(config.sampling_fraction * max(1, batch_size)))
+        budget = max(1, int(self.sampling_fraction * batch_size))
         if self._policy is None:
             # §2.3: the sub-stream sources are declared at the aggregator, so
             # the first interval can already split its budget across them.
@@ -312,11 +345,27 @@ class _BoundOASRS(BoundStrategy):
                 self._sampler = OASRSSampler(
                     self._policy, key_fn=self.plan.query.key_fn, rng=self._rng
                 )
+        elif self._fraction_override is not None:
+            # Budget-driven runs: re-derive the water-filling capacities for
+            # the new budget *now* — ``close_interval`` already rebalanced
+            # the reservoirs with the previous budget, so without this the
+            # adaptation would always lag one batch behind.
+            self._policy.set_total(budget)
+            if self._sampler is not None:
+                self._sampler.rebalance()
         else:
             self._policy.total = budget
 
     def sample_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
         config = self.plan.config
+        if not items:
+            # An empty micro-batch must not collapse the policy's budget to
+            # ``max(1, fraction·0) == 1``: the close-interval rebalance would
+            # then rebuild every reservoir at ~1 slot and the *next* batch
+            # would sample through the starved capacities before its own
+            # budget re-set takes effect.  Nothing arrived, so there is
+            # nothing to sample or charge — emit an empty pane contribution.
+            return WeightedSample()
         strata_hint = max(1, len({self.plan.query.key_fn(x) for x in items}))
         self._ensure_batch_sampler(len(items), strata_hint)
         # On-the-fly sampling: every arriving item is offered (O(1) each)...
@@ -343,11 +392,30 @@ class _BoundOASRS(BoundStrategy):
     def interval_sampler(self, budget: int, strata_hint: int):
         config = self.plan.config
         policy = WaterFillingAllocation(budget, expected_strata=strata_hint)
+        self._interval_policy = policy
         if config.parallelism > 1:
-            return ShardedIntervalSampler(self._sharded_executor(policy))
-        return OASRSSampler(
-            policy, key_fn=self.plan.query.key_fn, rng=random.Random(config.seed)
-        )
+            sampler = ShardedIntervalSampler(self._sharded_executor(policy))
+        else:
+            sampler = OASRSSampler(
+                policy, key_fn=self.plan.query.key_fn, rng=random.Random(config.seed)
+            )
+        self._interval_sampler = sampler
+        return sampler
+
+    def set_interval_budget(self, total: int) -> None:
+        """Re-target the per-interval water-filling budget (§4.2 feedback).
+
+        Mutates the *shared* policy, so it reaches the sharded path too:
+        `ShardedExecutor` workers re-read the policy at every fork.  The
+        in-process sampler additionally rebalances its (empty, start-of-
+        interval) reservoirs so the new capacities apply immediately.
+        """
+        if self._interval_policy is None:
+            return
+        self._interval_policy.set_total(max(1, int(total)))
+        rebalance = getattr(self._interval_sampler, "rebalance", None)
+        if rebalance is not None:
+            rebalance()
 
     def _sharded_executor(self, policy: WaterFillingAllocation) -> ShardedExecutor:
         config = self.plan.config

@@ -86,6 +86,9 @@ class StreamSystem:
         self.query = query
         self.window = window if window is not None else WindowConfig()
         self.config = config if config is not None else SystemConfig()
+        #: Per-interval budget-adaptation trajectory of the most recent run
+        #: (empty for fixed-fraction configs); also attached to the report.
+        self.adaptation: list = []
 
     def plan(self, source: Optional[PlanSource] = None) -> ExecutionPlan:
         """Build this system's validated `ExecutionPlan` for one run."""
@@ -108,14 +111,18 @@ class StreamSystem:
         """Process a stream (a ``(timestamp, item)`` list or a `PlanSource`)."""
         events = as_source(stream).events()
         truth = exact_panes(events, self.query, self.window)
+        self.adaptation = []
         results, cluster = self._execute(events)
         return SystemReport(
             system=self.name,
             results=join_ground_truth(results, truth),
             virtual_seconds=cluster.elapsed(),
             items_total=len(events),
+            adaptation=list(self.adaptation),
         )
 
     def _execute(self, stream: List[Tuple[float, object]]):
         """Run the system's plan; override only for experimental systems."""
-        return execute_plan(self.plan(ListSource(stream)))
+        return execute_plan(
+            self.plan(ListSource(stream)), adaptation_log=self.adaptation
+        )

@@ -106,7 +106,9 @@ class NativeStreamApproxSystem(StreamSystem):
     last_sampling_seconds = 0.0
 
     def _execute(self, stream: List[Tuple[float, object]]):
-        results, cluster, sampling_seconds = run_direct(self.plan(ListSource(stream)))
+        results, cluster, sampling_seconds = run_direct(
+            self.plan(ListSource(stream)), adaptation_log=self.adaptation
+        )
         self.last_sampling_seconds = sampling_seconds
         return results, cluster
 

@@ -76,13 +76,20 @@ class RateSchedule:
 
 
 def rate_swap_schedule(
-    high: float = 8000.0, low: float = 100.0, phase_seconds: float = 20.0
+    high: float = 8000.0,
+    low: float = 100.0,
+    phase_seconds: float = 20.0,
+    mid: float = 2000.0,
 ) -> RateSchedule:
-    """A dominates, then C dominates — the paper's adaptivity scenario."""
+    """A dominates, then C dominates — the paper's adaptivity scenario.
+
+    ``mid`` is B's steady rate; keep it below ``high`` or the swap between
+    A and C stops being the dominant-sub-stream change it models.
+    """
     return RateSchedule(
         (
-            RatePhase(phase_seconds, {"A": high, "B": 2000.0, "C": low}),
-            RatePhase(phase_seconds, {"A": low, "B": 2000.0, "C": high}),
+            RatePhase(phase_seconds, {"A": high, "B": mid, "C": low}),
+            RatePhase(phase_seconds, {"A": low, "B": mid, "C": high}),
         )
     )
 

@@ -1,5 +1,7 @@
 """Tests for query budgets, the virtual cost function, and adaptive feedback."""
 
+import math
+
 import pytest
 
 from repro.core.budget import (
@@ -82,6 +84,51 @@ class TestVirtualCostFunction:
         frac = vcf.sampling_fraction(AccuracyBudget(target_margin=1e-9), 10)
         assert 0 < frac <= 1.0
 
+    # -- edge translations: every budget kind stays sane at the boundaries --
+
+    @pytest.mark.parametrize("budget", [
+        AccuracyBudget(target_margin=0.1),
+        LatencyBudget(max_seconds=1.0),
+        ResourceBudget(workers=2),
+    ])
+    def test_zero_expected_items(self, budget):
+        """An idle interval must still yield a positive, finite size."""
+        vcf = VirtualCostFunction()
+        vcf.observe([stats("a", c=1000, variance=4.0)])
+        size = vcf.sample_size(budget, 0)
+        assert size >= 1
+        # And the fraction form degrades to 'keep everything' gracefully.
+        assert vcf.sampling_fraction(budget, 0) == 1.0
+
+    @pytest.mark.parametrize("budget", [
+        AccuracyBudget(target_margin=0.1),
+        LatencyBudget(max_seconds=1.0),
+        ResourceBudget(workers=2),
+    ])
+    def test_zero_variance_strata(self, budget):
+        """Constant-valued strata never force more than a token sample."""
+        vcf = VirtualCostFunction()
+        vcf.observe([stats("a", c=1000, variance=0.0),
+                     stats("b", c=500, variance=0.0)])
+        size = vcf.sample_size(budget, 1000)
+        assert size >= 1
+        if isinstance(budget, AccuracyBudget):
+            assert size == 1  # Equation 9 needs no samples when s² = 0
+
+    @pytest.mark.parametrize("budget", [
+        AccuracyBudget(target_margin=0.1),
+        LatencyBudget(max_seconds=1.0),
+        ResourceBudget(workers=2),
+    ])
+    def test_single_stratum(self, budget):
+        """One stratum gets the whole capacity, never more than observed."""
+        vcf = VirtualCostFunction()
+        vcf.observe([stats("only", c=2000, variance=9.0)])
+        size = vcf.sample_size(budget, 2000)
+        assert 1 <= size <= 200_000
+        if isinstance(budget, AccuracyBudget):
+            assert size <= 2000  # capped at the stratum's population
+
     def test_unknown_budget_type(self):
         with pytest.raises(TypeError):
             VirtualCostFunction().sample_size(object(), 100)
@@ -132,3 +179,36 @@ class TestAdaptiveController:
             c.update(measured)
         final_error = 1.0 / (c.current_size ** 0.5)
         assert final_error <= 0.02 * 1.5
+
+    def test_decay_settles_instead_of_ratcheting_to_min(self):
+        """Regression: ``int()``-truncated decay lost one extra item per step,
+        so a small size under sustained slack ratcheted all the way to
+        ``min_size``; symmetric rounding settles at round(s·decay) == s."""
+        c = AdaptiveSampleSizeController(
+            initial_size=9, target_relative_margin=0.1, decay=0.9
+        )
+        sizes = [c.update(0.0) for _ in range(50)]
+        assert sizes[-1] == sizes[-2]  # settled, not still falling
+        assert sizes[-1] > 1  # and not at min_size (9·0.9^k never truncates to 1)
+
+    @pytest.mark.parametrize("initial", [2, 10, 1_000, 100_000])
+    @pytest.mark.parametrize("growth,decay", [(1.5, 0.9), (2.0, 0.8), (1.2, 0.95)])
+    def test_convergence_property(self, initial, growth, decay):
+        """From any start, the loop reaches the target band and then holds:
+        once the measured margin meets the target it never leaves the band
+        by more than one growth/decay step (no grow/decay oscillation)."""
+        target = 0.01
+        c = AdaptiveSampleSizeController(
+            initial_size=initial, target_relative_margin=target,
+            growth=growth, decay=decay,
+        )
+        sizes = []
+        for _ in range(200):
+            sizes.append(c.update(1.0 / (c.current_size ** 0.5)))
+        tail = sizes[-20:]
+        # Settled: the tail cycles within one multiplicative step's band.
+        assert max(tail) <= math.ceil(min(tail) * growth)
+        # And the settled sizes actually meet the target (within one decay
+        # step of the exact fixed point 1/target² = 10,000).
+        assert max(tail) >= (1.0 / target**2) * decay * decay
+        assert min(tail) > c.min_size

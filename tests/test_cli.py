@@ -32,7 +32,7 @@ class TestParser:
 
 
 class TestMakeWorkload:
-    @pytest.mark.parametrize("name", ["gaussian", "netflow", "taxi"])
+    @pytest.mark.parametrize("name", ["gaussian", "drift", "netflow", "taxi"])
     def test_workloads_build(self, name):
         stream, query = make_workload(name, rate=1000, duration=2, seed=0)
         assert stream
@@ -120,6 +120,61 @@ class TestCommands:
         )
         assert code == 0
         assert "spark-streamapprox" in out and "█" in out
+
+    def test_compare_with_accuracy_budget_prints_trajectory(self):
+        code, out = run_cli(
+            ["compare", "--workload", "drift", "--rate", "2000",
+             "--duration", "10", "--target-margin", "0.5",
+             "--systems", "spark-streamapprox", "native-streamapprox"]
+        )
+        assert code == 0
+        assert "AccuracyBudget" in out
+        assert "adaptation trajectory — native-streamapprox" in out
+        assert "target margin 0.5" in out
+
+    def test_compare_with_latency_budget(self):
+        code, out = run_cli(
+            ["compare", "--rate", "1000", "--duration", "4",
+             "--latency-budget", "0.05", "--systems", "native-streamapprox"]
+        )
+        assert code == 0
+        assert "LatencyBudget" in out and "adaptation trajectory" in out
+
+    def test_compare_with_cores_budget(self):
+        code, out = run_cli(
+            ["compare", "--rate", "1000", "--duration", "4",
+             "--cores-budget", "2", "--systems", "native-streamapprox"]
+        )
+        assert code == 0
+        assert "ResourceBudget" in out
+
+    def test_mutually_exclusive_budget_flags(self, capsys):
+        code = main(
+            ["compare", "--rate", "1000", "--duration", "4",
+             "--target-margin", "0.5", "--cores-budget", "2",
+             "--systems", "native-streamapprox"]
+        )
+        assert code == 2
+        assert "at most one query budget" in capsys.readouterr().err
+
+    def test_budget_with_none_strategy_system_fails_loudly(self, capsys):
+        code = main(
+            ["compare", "--rate", "1000", "--duration", "4",
+             "--target-margin", "0.5",
+             "--systems", "native-spark", "native-streamapprox"]
+        )
+        # native systems run unsampled (budget skipped), so this succeeds —
+        # the planner guard is exercised through the library path instead.
+        assert code == 0
+
+    def test_sweep_rejects_budget_flags(self, capsys):
+        code = main(
+            ["sweep", "--rate", "1000", "--duration", "4",
+             "--fractions", "0.2", "--target-margin", "0.5",
+             "--systems", "spark-streamapprox"]
+        )
+        assert code == 2
+        assert "budget flags only apply" in capsys.readouterr().err
 
     def test_sweep_prints_series(self):
         code, out = run_cli(

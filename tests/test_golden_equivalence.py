@@ -65,3 +65,54 @@ def test_refactored_system_matches_seed_output(case):
 
     got = report_fingerprint(CASES[case]())
     assert_matches(got, GOLDEN[case], path=case)
+
+
+# ---------------------------------------------------------------------------
+# Budget-driven plans across the seven systems
+#
+# ``SystemConfig(budget=…)`` cannot be compared number-for-number against the
+# golden JSON (adapting the sample size is the point), but it must not change
+# the *shape* of a run: the five sampled systems still fire the same panes
+# over the same populations with the same ground truth, and the two native
+# systems — whose ``none`` strategy has nothing to adapt — are rejected at
+# plan-build time.  Running these in the same harness also pins that adding
+# ``budget`` to `SystemConfig` left the fixed-fraction cases above bitwise
+# intact.
+# ---------------------------------------------------------------------------
+
+
+def _budget_report(cls):
+    from golden_config import WINDOW, golden_config, golden_query, golden_stream
+    from repro.core.budget import AccuracyBudget
+
+    config = golden_config(budget=AccuracyBudget(target_margin=0.5))
+    return cls(golden_query(), WINDOW, config).run(golden_stream())
+
+
+@pytest.mark.parametrize("case", sorted(
+    {name.split("@")[0] for name in GOLDEN}
+    - {"native-spark", "native-flink"}
+))
+def test_budget_driven_run_keeps_golden_pane_structure(case):
+    from golden_config import _SEVEN
+
+    cls = {c.name: c for c in _SEVEN}[case]
+    report = _budget_report(cls)
+    golden_panes = GOLDEN[case]["panes"]
+    assert len(report.results) == len(golden_panes)
+    for got, want in zip(report.results, golden_panes):
+        assert got.end == pytest.approx(want["end"])
+        assert got.total_items == want["total_items"]
+        assert got.exact == pytest.approx(want["exact"], rel=1e-9)
+    # The adaptive loop actually ran: one decision per pane.
+    assert len(report.adaptation) == len(report.results)
+
+
+@pytest.mark.parametrize("case", ["native-spark", "native-flink"])
+def test_budget_driven_native_systems_rejected(case):
+    from golden_config import _SEVEN
+    from repro.runtime import PlanError
+
+    cls = {c.name: c for c in _SEVEN}[case]
+    with pytest.raises(PlanError, match="requires a sampling strategy"):
+        _budget_report(cls)
