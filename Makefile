@@ -7,6 +7,9 @@
 #                     trajectory tracking (benchmarks/results/bench.json);
 #                     includes the budget-loop convergence gate
 #                     (REPRO_ADAPT_MAX_INTERVALS tunes its deadline)
+#   make chaos      — fault-tolerance chaos suite (crash/resume + shard
+#                     kills); REPRO_CHAOS_SEEDS selects the seed matrix,
+#                     e.g. make chaos REPRO_CHAOS_SEEDS="7,19,23"
 #   make check      — test + smoke (what CI runs on every push/PR)
 
 PYTHON ?= python
@@ -14,7 +17,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCH_JSON ?= benchmarks/results/bench.json
 
-.PHONY: test smoke bench bench-json check
+.PHONY: test smoke bench bench-json chaos check
 
 # Extra pytest flags, e.g. make check PYTEST_ARGS=--benchmark-json=out.json
 PYTEST_ARGS ?=
@@ -30,5 +33,10 @@ bench:
 
 bench-json:
 	$(PYTHON) -m pytest -x -q benchmarks/ --benchmark-json=$(BENCH_JSON)
+
+# Seeds the chaos harness parametrizes over (tests/chaos/conftest.py).
+REPRO_CHAOS_SEEDS ?= 7
+chaos:
+	REPRO_CHAOS_SEEDS="$(REPRO_CHAOS_SEEDS)" $(PYTHON) -m pytest -x -q tests/chaos
 
 check: test smoke

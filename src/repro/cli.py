@@ -39,6 +39,17 @@ chosen vs. margin measured).  The ``drift`` workload (a rate swap between
 sub-streams mid-run) is the natural stress test:
 ``python -m repro compare --workload drift --target-margin 0.5``.
 
+Fault tolerance is exposed the same way: ``--checkpoint-every K`` snapshots
+each sampled system's sampler/controller state every K panes,
+``compare --resume`` then resumes every system from its latest checkpoint
+and verifies the remaining panes match the uninterrupted run, and
+``--kill-shard W@I[:FRAC]`` (repeatable, needs ``--parallelism >= 2``)
+injects a worker loss into the sharded sampling path — the run recovers by
+discard-and-rewiden and reports the per-pane recovery events::
+
+    python -m repro compare --systems native-streamapprox \
+        --parallelism 4 --kill-shard 1@2 --checkpoint-every 1 --resume
+
 The CLI is a thin veneer over the same public API the benchmarks use; it
 exists so a fresh checkout can produce paper-shaped numbers in one line.
 """
@@ -52,10 +63,11 @@ from typing import Dict, List
 from .aggregator.broker import Broker
 from .aggregator.producer import Producer
 from .core.budget import AccuracyBudget, LatencyBudget, ResourceBudget
+from .core.recovery import FaultSchedule, ShardKill
 from .metrics.adaptation import format_trajectory
 from .metrics.ascii_chart import bar_chart, line_chart
 from .metrics.collector import ExperimentCollector
-from .runtime import PlanError, TopicSource
+from .runtime import CheckpointPolicy, PlanError, TopicSource
 from .system import (
     ALL_SYSTEMS,
     NativeStreamApproxSystem,
@@ -162,6 +174,25 @@ def _budget_from_args(args):
     return None
 
 
+def _parse_kill_shard(spec: str) -> ShardKill:
+    """Parse one ``--kill-shard W@I[:FRACTION]`` spec into a `ShardKill`."""
+    try:
+        worker_part, _, rest = spec.partition("@")
+        if not rest:
+            raise ValueError("missing '@'")
+        interval_part, _, fraction_part = rest.partition(":")
+        return ShardKill(
+            worker=int(worker_part),
+            interval=int(interval_part),
+            after_fraction=float(fraction_part) if fraction_part else 0.5,
+        )
+    except ValueError as exc:
+        raise PlanError(
+            f"bad --kill-shard spec {spec!r} (expected WORKER@INTERVAL or "
+            f"WORKER@INTERVAL:FRACTION, e.g. 1@2:0.5): {exc}"
+        ) from None
+
+
 def _run_systems(
     names: List[str],
     stream,
@@ -173,15 +204,28 @@ def _run_systems(
     broker=None,
     broker_members: int = 2,
     budget=None,
-) -> Dict[str, object]:
-    reports = {}
+    checkpoint=None,
+    faults=None,
+):
+    """Run each named system once; returns (reports, system instances).
+
+    The instances give ``compare --resume`` access to each run's collected
+    checkpoints, and `StreamSystem.run` re-reads rewindable sources, so the
+    same instance can replay for resume verification.
+    """
+    reports: Dict[str, object] = {}
+    systems: Dict[str, object] = {}
+    sources: Dict[str, object] = {}
     for name in names:
         cls = _CLI_SYSTEMS[name]
         config = SystemConfig(
             sampling_fraction=fraction if name not in _UNSAMPLED else 1.0,
-            # Unsampled systems have no sample size to adapt; they run as the
-            # exact baselines alongside the budget-driven ones.
+            # Unsampled systems have no sample size to adapt and no sampler
+            # state worth snapshotting or killing; they run as the exact
+            # baselines alongside the budget/checkpoint/fault-driven ones.
             budget=budget if name not in _UNSAMPLED else None,
+            checkpoint=checkpoint if name not in _UNSAMPLED else None,
+            faults=faults if name not in _UNSAMPLED else None,
             chunk_size=chunk_size,
             parallelism=parallelism,
         )
@@ -193,8 +237,11 @@ def _run_systems(
             )
         else:
             source = stream
-        reports[name] = cls(query, window, config).run(source)
-    return reports
+        system = cls(query, window, config)
+        reports[name] = system.run(source)
+        systems[name] = system
+        sources[name] = source
+    return reports, systems, sources
 
 
 def cmd_systems(_args) -> int:
@@ -215,10 +262,24 @@ def cmd_compare(args) -> int:
     )
     try:
         budget = _budget_from_args(args)
-        reports = _run_systems(
+        checkpoint = (
+            CheckpointPolicy(every=args.checkpoint_every)
+            if args.checkpoint_every is not None
+            else None
+        )
+        if args.resume and checkpoint is None:
+            raise PlanError("--resume needs --checkpoint-every to collect "
+                            "checkpoints to resume from")
+        faults = (
+            FaultSchedule(kills=tuple(_parse_kill_shard(s) for s in args.kill_shard))
+            if args.kill_shard
+            else None
+        )
+        reports, systems, sources = _run_systems(
             args.systems, stream, query, args.fraction, window,
             chunk_size=args.chunk_size, parallelism=args.parallelism,
             broker=broker, broker_members=args.broker_members, budget=budget,
+            checkpoint=checkpoint, faults=faults,
         )
     except PlanError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -246,6 +307,49 @@ def cmd_compare(args) -> int:
                 continue
             print(f"\nadaptation trajectory — {name}")
             print(format_trajectory(report, target))
+    if faults is not None:
+        print("\nworker-loss recovery (discard-and-rewiden):")
+        for name, report in reports.items():
+            events = report.recovery_events
+            if not events:
+                print(f"  {name:>22}: no recovery events")
+                continue
+            for ev in events:
+                print(
+                    f"  {name:>22}: interval {ev.interval} worker {ev.worker} "
+                    f"lost {ev.items_lost} rerouted {ev.items_rerouted}"
+                    f"{' (permanent)' if ev.permanent else ''}"
+                )
+            print(f"  {name:>22}: total items lost {report.items_lost}")
+    if args.resume:
+        print("\nresume-from-checkpoint verification:")
+        failures = 0
+        for name, system in systems.items():
+            store = system.checkpoints
+            if store is None or len(store) == 0:
+                print(f"  {name:>22}: no checkpoints collected")
+                continue
+            checkpoint_at = store.latest()
+            try:
+                resumed = system.run(sources[name], resume_from=checkpoint_at)
+            except PlanError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            base_panes = [
+                (r.end, r.estimate, r.sampled_items) for r in reports[name].results
+            ]
+            resumed_panes = [
+                (r.end, r.estimate, r.sampled_items) for r in resumed.results
+            ]
+            match = resumed_panes == base_panes
+            failures += 0 if match else 1
+            print(
+                f"  {name:>22}: resumed from pane {checkpoint_at.pane_index} "
+                f"(t={checkpoint_at.pane_end:g}) — panes "
+                f"{'match' if match else 'DIVERGED'}"
+            )
+        if failures:
+            return 1
     return 0
 
 
@@ -264,12 +368,18 @@ def cmd_sweep(args) -> int:
                 "sweep varies the sampling fraction; budget flags only apply "
                 "to 'compare'"
             )
+        faults = (
+            FaultSchedule(kills=tuple(_parse_kill_shard(s) for s in args.kill_shard))
+            if args.kill_shard
+            else None
+        )
         for fraction in args.fractions:
             sampled = [name for name in args.systems if name not in _UNSAMPLED]
-            reports = _run_systems(
+            reports, _systems, _sources = _run_systems(
                 sampled, stream, query, fraction, window,
                 chunk_size=args.chunk_size, parallelism=args.parallelism,
                 broker=broker, broker_members=args.broker_members,
+                faults=faults,
             )
             for report in reports.values():
                 collector.record(fraction, report)
@@ -336,10 +446,23 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="cores_budget", metavar="N",
                        help="resource budget: per-interval sample size from "
                             "an N-core allotment")
+        p.add_argument("--checkpoint-every", type=int, default=None,
+                       dest="checkpoint_every", metavar="K",
+                       help="snapshot sampler/controller state every K panes "
+                            "(fault-tolerance service; sampled systems only)")
+        p.add_argument("--kill-shard", action="append", default=[],
+                       dest="kill_shard", metavar="W@I[:FRAC]",
+                       help="inject a worker loss: kill shard worker W during "
+                            "interval I after FRAC of its items (default 0.5); "
+                            "repeatable; needs --parallelism >= 2")
 
     compare = sub.add_parser("compare", help="run systems at one fraction")
     add_common(compare)
     compare.add_argument("--fraction", type=float, default=0.6)
+    compare.add_argument("--resume", action="store_true",
+                         help="after the run, resume each system from its "
+                              "latest checkpoint and verify the remaining "
+                              "panes match (needs --checkpoint-every)")
     compare.set_defaults(func=cmd_compare)
 
     sweep = sub.add_parser("sweep", help="sweep the sampling fraction")

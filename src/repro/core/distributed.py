@@ -32,6 +32,7 @@ import random
 from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from .oasrs import AllocationPolicy, FixedPerStratum, KeyFn, OASRSSampler
+from .recovery import FaultSchedule, RecoveryEvent, restore_attrs, snapshot_attrs
 from .strata import StratumSample, WeightedSample, combine_worker_samples, stratum_weight
 
 T = TypeVar("T")
@@ -108,6 +109,7 @@ class ShardedExecutor(Generic[T]):
         seed: Optional[int] = None,
         chunk_size: int = 1024,
         route_fn: Optional[Callable[[T, int], int]] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -119,6 +121,10 @@ class ShardedExecutor(Generic[T]):
         self._key_fn = key_fn
         self._rng = random.Random(seed)
         self._route_fn = route_fn
+        self._faults = faults
+        self._live: List[int] = list(range(workers))
+        self._intervals_run = 0
+        self._recovery_log: List[RecoveryEvent] = []
         self.last_run_parallel = False
 
     @staticmethod
@@ -128,39 +134,133 @@ class ShardedExecutor(Generic[T]):
             and not os.environ.get("REPRO_NO_MP")
         )
 
-    def _partition(self, items: Sequence[T]) -> List[List[T]]:
+    @property
+    def live_workers(self) -> List[int]:
+        """Worker ids still alive (permanent kills remove entries)."""
+        return list(self._live)
+
+    def drain_recovery_events(self) -> List[RecoveryEvent]:
+        """Return and clear the worker-loss events since the last drain."""
+        events, self._recovery_log = self._recovery_log, []
+        return events
+
+    def state(self) -> dict:
+        """Plain-data snapshot of the executor's cross-interval state.
+
+        Shard contents are per-interval (rebuilt from the items each call);
+        what persists across intervals — and therefore checkpoints — is the
+        seed RNG, the live-worker set, the interval counter the fault
+        schedule indexes, and the adaptive policy's attributes.
+        """
+        return {
+            "rng": self._rng.getstate(),
+            "live": list(self._live),
+            "intervals_run": self._intervals_run,
+            "policy": snapshot_attrs(self._policy),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a `state` snapshot exactly (RNG stream included)."""
+        self._rng.setstate(state["rng"])
+        self._live = list(state["live"])
+        self._intervals_run = state["intervals_run"]
+        restore_attrs(self._policy, state["policy"])
+        self._recovery_log = []
+
+    def _partition(self, items: Sequence[T], shard_count: int) -> List[List[T]]:
         if self._route_fn is None:
             # Strided slices == round-robin, without a per-item Python loop.
-            return [list(items[w :: self.workers]) for w in range(self.workers)]
-        shards: List[List[T]] = [[] for _ in range(self.workers)]
+            return [list(items[w::shard_count]) for w in range(shard_count)]
+        shards: List[List[T]] = [[] for _ in range(shard_count)]
         for index, item in enumerate(items):
-            shards[self._route_fn(item, index) % self.workers].append(item)
+            shards[self._route_fn(item, index) % shard_count].append(item)
         return shards
 
+    def _inject_faults(
+        self, interval: int, live: List[int], shards: List[List[T]]
+    ) -> List[int]:
+        """Apply this interval's scheduled kills to the partitioned shards.
+
+        Discard-and-rewiden (§3.2): the doomed worker's already-processed
+        prefix is lost outright — its reservoir and counter die with it —
+        and the unprocessed suffix is re-routed round-robin to surviving
+        shards.  Counters stay exact for every item that survived, so the
+        merged Equation-1 weights remain unbiased over the surviving
+        sub-population; the pane simply covers fewer items and its CI
+        widens.  Returns worker ids to remove from the live set after the
+        interval (permanent kills).
+        """
+        kills = self._faults.kills_for(interval) if self._faults is not None else []
+        if not kills:
+            return []
+        killed_slots: set = set()
+        remove: List[int] = []
+        for kill in kills:
+            try:
+                slot = live.index(kill.worker)
+            except ValueError:
+                continue  # already dead (or never existed): nothing to kill
+            if slot in killed_slots:
+                continue
+            killed_slots.add(slot)
+            doomed = shards[slot]
+            cut = int(len(doomed) * kill.after_fraction)
+            lost, rerouted = doomed[:cut], doomed[cut:]
+            shards[slot] = []
+            targets = [s for s in range(len(shards)) if s not in killed_slots]
+            if targets:
+                for offset, item in enumerate(rerouted):
+                    shards[targets[offset % len(targets)]].append(item)
+            else:
+                # No survivor to take the re-route: the whole shard is lost.
+                lost, rerouted = doomed, []
+            self._recovery_log.append(
+                RecoveryEvent(
+                    interval=interval,
+                    worker=kill.worker,
+                    items_lost=len(lost),
+                    items_rerouted=len(rerouted),
+                    permanent=kill.permanent,
+                )
+            )
+            if kill.permanent:
+                remove.append(kill.worker)
+        return remove
+
     def run(self, items: Sequence[T]) -> WeightedSample[T]:
-        """Sample one interval's items across all shards and merge.
+        """Sample one interval's items across all live shards and merge.
 
         The only cross-worker step is the final merge (counters add,
         reservoirs concatenate, weights re-derive) — there is no barrier or
         shuffle during the interval itself.
         """
+        interval = self._intervals_run
+        self._intervals_run += 1
         if not isinstance(items, (list, tuple)):
             items = list(items)
         self.last_run_parallel = False
         if not items:
             # Nothing to shard — do not pay a pool fork for an empty merge.
             return WeightedSample()
-        shards = self._partition(items)
-        seeds = [self._rng.getrandbits(64) for _ in range(self.workers)]
-        state = (shards, self._policy, self._key_fn, self.workers, seeds, self.chunk_size)
+        live = self._live
+        if not live:
+            raise RuntimeError("all shard workers have failed")
+        shards = self._partition(items, len(live))
+        # One seed per *configured* worker, drawn unconditionally, so the
+        # shard RNG sequence is independent of failure history and the
+        # no-fault path is bitwise identical to a fault-free executor.
+        all_seeds = [self._rng.getrandbits(64) for _ in range(self.workers)]
+        seeds = [all_seeds[worker_id] for worker_id in live]
+        remove = self._inject_faults(interval, live, shards)
+        state = (shards, self._policy, self._key_fn, len(live), seeds, self.chunk_size)
         payloads = None
-        if self.workers > 1 and self._fork_available():
+        if len(live) > 1 and self._fork_available():
             global _FORK_STATE
             _FORK_STATE = state
             try:
                 ctx = multiprocessing.get_context("fork")
-                with ctx.Pool(self.workers) as pool:
-                    payloads = pool.map(_shard_payload, range(self.workers))
+                with ctx.Pool(len(live)) as pool:
+                    payloads = pool.map(_shard_payload, range(len(live)))
                 self.last_run_parallel = True
             except (OSError, ValueError, RuntimeError):
                 payloads = None  # fall back to in-process below
@@ -169,13 +269,15 @@ class ShardedExecutor(Generic[T]):
         if payloads is None:
             _FORK_STATE = state
             try:
-                payloads = [_shard_payload(w) for w in range(self.workers)]
+                payloads = [_shard_payload(w) for w in range(len(live))]
             finally:
                 _FORK_STATE = None
         merged = combine_worker_samples([self._decode(p) for p in payloads])
         observe = getattr(self._policy, "observe", None)
         if observe is not None:
             observe({s.key: s.count for s in merged})
+        if remove:
+            self._live = [w for w in self._live if w not in remove]
         return merged
 
     @staticmethod
@@ -211,6 +313,17 @@ class ShardedIntervalSampler(Generic[T]):
     def __init__(self, executor: ShardedExecutor[T]) -> None:
         self._executor = executor
         self._buffer: List[T] = []
+
+    def state(self) -> dict:
+        """Snapshot the executor's cross-interval state plus the buffer."""
+        return {"executor": self._executor.state(), "buffer": list(self._buffer)}
+
+    def restore(self, state: dict) -> None:
+        self._executor.restore(state["executor"])
+        self._buffer = list(state["buffer"])
+
+    def drain_recovery_events(self):
+        return self._executor.drain_recovery_events()
 
     def offer(self, item: T) -> None:
         self._buffer.append(item)

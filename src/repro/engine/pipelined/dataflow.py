@@ -75,6 +75,7 @@ class Pipeline:
         aggregate: Callable,
         start: float = 0.0,
         charge_processing: bool = True,
+        preload: Optional[List[Tuple[float, object]]] = None,
     ) -> "Pipeline":
         return self._append(
             SlidingWindowOperator(
@@ -84,6 +85,7 @@ class Pipeline:
                 aggregate=aggregate,
                 start=start,
                 charge_processing=charge_processing,
+                preload=preload,
             )
         )
 
@@ -92,10 +94,17 @@ class Pipeline:
         intervals_per_window: int,
         aggregate: Callable,
         charge_processing: bool = True,
+        preload: Optional[List[Tuple[float, object]]] = None,
+        state_hook: Optional[Callable] = None,
     ) -> "Pipeline":
         return self._append(
             SampleWindowOperator(
-                self.cluster, intervals_per_window, aggregate, charge_processing
+                self.cluster,
+                intervals_per_window,
+                aggregate,
+                charge_processing,
+                preload=preload,
+                state_hook=state_hook,
             )
         )
 

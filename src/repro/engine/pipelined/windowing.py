@@ -12,7 +12,7 @@ items, or of pre-weighted OASRS samples, inside the window).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Generic, List, Tuple, TypeVar
+from typing import Callable, Deque, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from ..cluster import SimulatedCluster
 from .operators import Operator
@@ -30,6 +30,10 @@ class SlidingWindowOperator(Operator[T], Generic[T, A]):
     inside ``[fire_time − length, fire_time)`` and its return value is
     emitted downstream stamped with the fire time.  Processing cost for the
     aggregation is charged per buffered item (one pass per pane).
+
+    ``preload`` seeds the buffer with items from before ``start`` — the
+    checkpointed window content a resumed run carries across the restart
+    so its first panes still cover a full window.
     """
 
     def __init__(
@@ -40,6 +44,7 @@ class SlidingWindowOperator(Operator[T], Generic[T, A]):
         aggregate: Callable[[List[Tuple[float, T]]], A],
         start: float = 0.0,
         charge_processing: bool = True,
+        preload: Optional[Sequence[Tuple[float, T]]] = None,
     ) -> None:
         super().__init__()
         if length <= 0 or slide <= 0:
@@ -48,7 +53,7 @@ class SlidingWindowOperator(Operator[T], Generic[T, A]):
         self._length = length
         self._slide = slide
         self._aggregate = aggregate
-        self._buffer: Deque[Tuple[float, T]] = deque()
+        self._buffer: Deque[Tuple[float, T]] = deque(preload or ())
         self._next_fire = start + slide
         self._charge = charge_processing
 
@@ -83,6 +88,12 @@ class SampleWindowOperator(Operator[T], Generic[T, A]):
     length ``w`` spanning ``k = w / slide`` intervals merges the last ``k``
     samples and aggregates the merge.  Processing is charged per *sampled*
     item only — the pipelined StreamApprox saving.
+
+    ``preload`` seeds the recent-interval deque with checkpointed
+    ``(timestamp, sample)`` records so a resumed run's first panes merge
+    across the restart boundary; ``state_hook`` (if given) is called after
+    every emit with ``(fire_time, recent_records)`` — the checkpoint
+    layer's window into pane-boundary state.
     """
 
     def __init__(
@@ -91,6 +102,8 @@ class SampleWindowOperator(Operator[T], Generic[T, A]):
         intervals_per_window: int,
         aggregate: Callable[[object], A],
         charge_processing: bool = True,
+        preload: Optional[Sequence[Tuple[float, object]]] = None,
+        state_hook: Optional[Callable[[float, Tuple[Tuple[float, object], ...]], None]] = None,
     ) -> None:
         super().__init__()
         if intervals_per_window <= 0:
@@ -100,6 +113,9 @@ class SampleWindowOperator(Operator[T], Generic[T, A]):
         self._aggregate = aggregate
         self._charge = charge_processing
         self._recent: Deque[Tuple[float, object]] = deque(maxlen=intervals_per_window)
+        if preload:
+            self._recent.extend(preload)
+        self._state_hook = state_hook
 
     def on_item(self, timestamp: float, sample: object) -> None:
         self._recent.append((timestamp, sample))
@@ -109,3 +125,5 @@ class SampleWindowOperator(Operator[T], Generic[T, A]):
         if self._charge:
             self._cluster.process_items(merged.total_items)  # type: ignore[attr-defined]
         self.emit(timestamp, self._aggregate(merged))
+        if self._state_hook is not None:
+            self._state_hook(timestamp, tuple(self._recent))

@@ -16,6 +16,8 @@ porting a new system means registering a strategy and/or naming an
 ``docs/architecture.md``).
 """
 
+from ..core.recovery import FaultSchedule, RecoveryEvent, ShardKill
+from .checkpoint import CheckpointPolicy, CheckpointStore, PaneCheckpoint
 from .config import QueryBudget, StreamQuery, SystemConfig, WindowConfig
 from .control import AdaptationPoint, BudgetController
 from .driver import execute_plan, run_batched, run_direct, run_pipelined
@@ -44,8 +46,14 @@ __all__ = [
     "AdaptationPoint",
     "BoundStrategy",
     "BudgetController",
+    "CheckpointPolicy",
+    "CheckpointStore",
     "ExecutionPlan",
+    "FaultSchedule",
     "ListSource",
+    "PaneCheckpoint",
+    "RecoveryEvent",
+    "ShardKill",
     "PlanError",
     "PlanSource",
     "QueryBudget",

@@ -18,7 +18,9 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Optional, Union
 
 from ..core.budget import AccuracyBudget, LatencyBudget, ResourceBudget
+from ..core.recovery import FaultSchedule
 from ..engine.costs import CostProfile
+from .checkpoint import CheckpointPolicy
 
 __all__ = ["StreamQuery", "WindowConfig", "SystemConfig", "QueryBudget"]
 
@@ -161,6 +163,18 @@ class SystemConfig:
     #: constants (`repro.engine.costs.DEFAULT_COSTS`); the robustness
     #: tests perturb these to check the figure orderings are structural.
     costs: Optional[CostProfile] = None
+    #: Optional pane checkpointing (`repro.runtime.checkpoint.CheckpointPolicy`).
+    #: When set, the driver snapshots the full sampling/controller state at
+    #: pane boundaries into a `CheckpointStore`, and ``execute_plan`` /
+    #: ``StreamSystem.run`` accept ``resume_from=`` to restart mid-stream
+    #: with bitwise-identical remaining panes.  Requires a replayable
+    #: source (the planner rejects others).
+    checkpoint: Optional[CheckpointPolicy] = None
+    #: Optional deterministic fault injection
+    #: (`repro.core.recovery.FaultSchedule`): kill shard workers at chosen
+    #: intervals and recover by discard-and-rewiden.  Requires
+    #: ``parallelism >= 2`` with a shardable strategy.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.sampling_fraction <= 1:
@@ -186,3 +200,14 @@ class SystemConfig:
             raise ValueError(f"chunk_size must be non-negative, got {self.chunk_size}")
         if self.parallelism < 1:
             raise ValueError(f"parallelism must be at least 1, got {self.parallelism}")
+        if self.checkpoint is not None and not isinstance(
+            self.checkpoint, CheckpointPolicy
+        ):
+            raise ValueError(
+                f"checkpoint must be a CheckpointPolicy, "
+                f"got {type(self.checkpoint).__name__}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ValueError(
+                f"faults must be a FaultSchedule, got {type(self.faults).__name__}"
+            )

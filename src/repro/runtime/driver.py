@@ -21,6 +21,19 @@ three loops below are the only ones in the codebase:
 ``chunk_size`` and ``parallelism`` are honoured uniformly: the planner
 has already rejected combinations the strategy cannot support, so every
 loop here can assume its plan is runnable.
+
+**Fault tolerance as a runtime service.**  With
+``SystemConfig(checkpoint=CheckpointPolicy(...))`` every loop snapshots
+its full state (bound strategy, interval sampler, budget controller,
+window history) into a `repro.runtime.checkpoint.CheckpointStore` at pane
+boundaries — the only points where the sampling stack is quiescent.
+``execute_plan(resume_from=a_checkpoint)`` restores that state and
+replays the source from the checkpointed offset (exact re-ordering
+guaranteed by the source's replayability contract — the broker's
+topic-global ``seq`` for `TopicSource`), producing remaining panes
+bitwise identical to an uninterrupted run.  Worker-loss events injected
+by ``SystemConfig(faults=...)`` are drained from the sharded executors at
+every pane close and attached to the pane's `WindowResult.recovery`.
 """
 
 from __future__ import annotations
@@ -37,8 +50,17 @@ from ..core.error import estimate_error
 from ..core.query import QueryResult, StratumStats
 from ..core.strata import WeightedSample, combine_worker_samples, stratum_weight
 from ..engine.batched.context import StreamingContext
+from ..engine.batched.dstream import Batcher
 from ..engine.cluster import SimulatedCluster
 from ..engine.pipelined.dataflow import Pipeline
+from .checkpoint import (
+    CheckpointStore,
+    PaneCheckpoint,
+    controller_state,
+    interval_sampler_state,
+    restore_controller,
+    restore_interval_sampler,
+)
 from .control import AdaptationPoint, BudgetController
 from .plan import ExecutionPlan, PlanError
 from .report import WindowResult, estimate_pane, estimate_pane_stats
@@ -111,10 +133,53 @@ def _strata_hint(stream, key_fn) -> int:
     )
 
 
+def _checkpoint_setup(
+    plan: ExecutionPlan, checkpoint_store: Optional[CheckpointStore]
+) -> Tuple[Optional[CheckpointStore], int]:
+    """Resolve the run's checkpoint store and cadence from the plan.
+
+    Returns ``(None, 1)`` when checkpointing is off.  Re-validates source
+    replayability here as a backstop: `ExecutionPlan.with_source` swaps
+    sources through ``dataclasses.replace`` without re-running the
+    planner's checks.
+    """
+    policy = plan.config.checkpoint
+    if policy is None:
+        return None, 1
+    if not plan.source.replayable:
+        raise PlanError(
+            "checkpointing requires a replayable source: resume replays the "
+            "stream from the checkpointed offset, which a "
+            f"{type(plan.source).__name__} cannot reproduce"
+        )
+    store = checkpoint_store if checkpoint_store is not None else CheckpointStore()
+    return store, policy.every
+
+
+def _validate_resume(
+    plan: ExecutionPlan, checkpoint: PaneCheckpoint, n_events: int
+) -> None:
+    """Reject checkpoints that cannot have come from this plan's run."""
+    if checkpoint.engine != plan.engine or checkpoint.strategy != plan.strategy:
+        raise PlanError(
+            f"checkpoint was taken by a {checkpoint.engine!r}/"
+            f"{checkpoint.strategy!r} run and cannot resume a "
+            f"{plan.engine!r}/{plan.strategy!r} plan"
+        )
+    if checkpoint.stream_position > n_events:
+        raise PlanError(
+            f"checkpoint stream position {checkpoint.stream_position} lies "
+            f"beyond the source's {n_events} events; the replayed source must "
+            "cover at least the checkpointed prefix"
+        )
+
+
 def execute_plan(
     plan: ExecutionPlan,
     handle_batch: Optional[HandleBatch] = None,
     adaptation_log: Optional[List[AdaptationPoint]] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    resume_from: Optional[PaneCheckpoint] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Run a plan on its engine; returns (pane results, charged cluster).
 
@@ -123,18 +188,35 @@ def execute_plan(
     uses for ad-hoc experimental systems.  ``adaptation_log``, when given,
     receives the budget controller's per-interval `AdaptationPoint`s for
     budget-driven plans (it stays empty for fixed-fraction plans).
+
+    ``checkpoint_store`` receives pane-boundary `PaneCheckpoint`s when the
+    plan's config sets a `CheckpointPolicy`; ``resume_from`` restores one
+    such checkpoint and continues mid-stream — the remaining panes are
+    bitwise identical to the uninterrupted run's.
     """
     if plan.engine == "batched":
         return run_batched(
-            plan, handle_batch=handle_batch, adaptation_log=adaptation_log
+            plan,
+            handle_batch=handle_batch,
+            adaptation_log=adaptation_log,
+            checkpoint_store=checkpoint_store,
+            resume_from=resume_from,
         )
     if handle_batch is not None:
         raise PlanError("handle_batch overrides only apply to the batched engine")
     if plan.engine == "pipelined":
-        return run_pipelined(plan, adaptation_log=adaptation_log)
+        return run_pipelined(
+            plan,
+            adaptation_log=adaptation_log,
+            checkpoint_store=checkpoint_store,
+            resume_from=resume_from,
+        )
     if plan.engine == "direct":
         results, cluster, _sampling_seconds = run_direct(
-            plan, adaptation_log=adaptation_log
+            plan,
+            adaptation_log=adaptation_log,
+            checkpoint_store=checkpoint_store,
+            resume_from=resume_from,
         )
         return results, cluster
     raise PlanError(f"unknown engine {plan.engine!r}")
@@ -149,6 +231,8 @@ def run_batched(
     plan: ExecutionPlan,
     handle_batch: Optional[HandleBatch] = None,
     adaptation_log: Optional[List[AdaptationPoint]] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    resume_from: Optional[PaneCheckpoint] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Micro-batch loop: per-batch sampling, per-slide pane estimation.
 
@@ -157,6 +241,11 @@ def run_batched(
     `BudgetController`, and the resulting per-interval sample budget is
     re-expressed as the sampling fraction the strategy applies to the
     following micro-batches.
+
+    Checkpoints capture the bound strategy (RNG + policy + sampler), the
+    controller, and the in-window batch-sample history; resume replays
+    micro-batches from the checkpointed pane boundary (``Batcher`` started
+    at ``pane_end`` over the unconsumed stream suffix).
     """
     stream = plan.source.events()
     config, window, query = plan.config, plan.window, plan.query
@@ -170,6 +259,13 @@ def run_batched(
     if handle_batch is None:
         bound_strategy = get_strategy(plan.strategy).bind(plan)
         handle_batch = bound_strategy.sample_batch
+    store, every = _checkpoint_setup(plan, checkpoint_store)
+    if (store is not None or resume_from is not None) and bound_strategy is None:
+        raise PlanError(
+            "checkpoint/resume requires a registered sampling strategy; an "
+            "ad-hoc handle_batch override carries state the runtime cannot "
+            "snapshot"
+        )
     controller = _make_controller(plan)
     if controller is not None and bound_strategy is not None:
         # Seed the first interval's fraction from the budget (latency and
@@ -177,14 +273,35 @@ def run_batched(
         per_slide_est = _per_slide_items(stream, window)
         initial_total = controller.initial_total(int(per_slide_est))
         bound_strategy.set_sampling_fraction(initial_total / max(1.0, per_slide_est))
-    batcher = ctx.batcher()
     per_slide = int(round(window.slide / config.batch_interval))
     per_window = int(round(window.length / config.batch_interval))
 
     history: List[WeightedSample] = []
     results: List[WindowResult] = []
-    for batch in batcher.batches(stream):
+    consumed = 0
+    pane_index = 0
+    if resume_from is not None:
+        _validate_resume(plan, resume_from, len(stream))
+        state = resume_from.state
+        bound_strategy.restore(state["strategy"])
+        if controller is not None and state["controller"] is not None:
+            restore_controller(controller, state["controller"])
+        history = list(state["history"])
+        results = list(resume_from.results)
+        consumed = resume_from.stream_position
+        pane_index = resume_from.pane_index
+        # Micro-batches restart at the checkpointed pane boundary: batch
+        # ends stay absolute (Batcher's start offsets them) and the pane
+        # fires every per_slide batches exactly as the uninterrupted run's
+        # global batch indexing would.
+        batcher = Batcher(config.batch_interval, start=resume_from.pane_end)
+        feed = stream[consumed:]
+    else:
+        batcher = ctx.batcher()
+        feed = stream
+    for batch in batcher.batches(feed):
         history.append(handle_batch(ctx, batch.items))
+        consumed += len(batch.items)
         if len(history) > per_window:
             del history[: len(history) - per_window]
         if (batch.index + 1) % per_slide == 0:
@@ -201,6 +318,11 @@ def run_batched(
                     bound_strategy.set_sampling_fraction(
                         min(1.0, next_total / max(1, observed))
                     )
+            recovery = (
+                tuple(bound_strategy.drain_recovery_events())
+                if bound_strategy is not None
+                else ()
+            )
             results.append(
                 WindowResult(
                     end=batch.end,
@@ -210,8 +332,35 @@ def run_batched(
                     groups=groups,
                     sampled_items=pane_sample.total_items,
                     total_items=pane_sample.total_count,
+                    recovery=recovery,
                 )
             )
+            pane_index += 1
+            if store is not None and pane_index % every == 0:
+                # ``consumed`` counts only items in yielded batches; the
+                # boundary-crossing trigger item sits in the batcher's
+                # buffer, so the position is exactly the first event with
+                # ts >= this pane's end.
+                store.save(
+                    PaneCheckpoint(
+                        plan_name=plan.name,
+                        engine=plan.engine,
+                        strategy=plan.strategy,
+                        pane_index=pane_index,
+                        pane_end=batch.end,
+                        stream_position=consumed,
+                        results=tuple(results),
+                        state={
+                            "strategy": bound_strategy.state(),
+                            "controller": (
+                                controller_state(controller)
+                                if controller is not None
+                                else None
+                            ),
+                            "history": tuple(history),
+                        },
+                    )
+                )
     if controller is not None and adaptation_log is not None:
         adaptation_log.extend(controller.trajectory)
     return results, ctx.cluster
@@ -225,12 +374,19 @@ def run_batched(
 def run_pipelined(
     plan: ExecutionPlan,
     adaptation_log: Optional[List[AdaptationPoint]] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    resume_from: Optional[PaneCheckpoint] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Operator pipeline: per-item (or chunked) flow, panes at watermarks.
 
     Budget-driven plans run the control step inside the pane aggregation:
     each fired pane's statistics re-derive the shared water-filling
     policy's budget before the sampling operator opens the next interval.
+
+    Checkpoints are taken in the window operator's pane hook (sampled
+    path) or the pane aggregation itself (exact path); resume preloads the
+    operator's window state and restarts the dataflow at the checkpointed
+    pane boundary over the unconsumed stream suffix.
     """
     stream = plan.source.events()
     config, window, query = plan.config, plan.window, plan.query
@@ -240,6 +396,21 @@ def run_pipelined(
     confidence = config.confidence
     bound_strategy = get_strategy(plan.strategy).bind(plan)
     controller = _make_controller(plan)
+    store, every = _checkpoint_setup(plan, checkpoint_store)
+    if resume_from is not None:
+        _validate_resume(plan, resume_from, len(stream))
+    last_ts = stream[-1][0] if stream else 0.0
+    timestamp_of = itemgetter(0)
+    prior_results: List[WindowResult] = (
+        list(resume_from.results) if resume_from is not None else []
+    )
+    # Pane bookkeeping shared by the operator hooks (closures cannot rebind
+    # locals of this frame).
+    pane_meta = {
+        "index": resume_from.pane_index if resume_from is not None else 0,
+        "emitted": list(prior_results),
+        "value": None,
+    }
 
     if bound_strategy.samples_intervals:
         if controller is not None:
@@ -252,6 +423,18 @@ def run_pipelined(
             initial,
             _strata_hint(stream, query.key_fn) if stream else 1,
         )
+        op_start = 0.0
+        preload = None
+        feed = stream
+        if resume_from is not None:
+            state = resume_from.state
+            bound_strategy.restore(state["strategy"])
+            restore_interval_sampler(sampler, state["sampler"])
+            if controller is not None and state["controller"] is not None:
+                restore_controller(controller, state["controller"])
+            preload = list(state["recent"])
+            op_start = resume_from.pane_end
+            feed = stream[resume_from.stream_position :]
 
         def aggregate_samples(merged):
             estimate, bound, groups, strata = estimate_pane_stats(
@@ -261,31 +444,129 @@ def run_pipelined(
                 bound_strategy.set_interval_budget(
                     controller.on_pane(strata, bound, merged.total_count)
                 )
-            return estimate, bound, groups, merged.total_items, merged.total_count
+            recovery = tuple(bound_strategy.drain_recovery_events())
+            value = (
+                estimate, bound, groups, merged.total_items, merged.total_count,
+                recovery,
+            )
+            pane_meta["value"] = value
+            return value
+
+        state_hook = None
+        if store is not None:
+
+            def state_hook(ts, recent):
+                if ts > last_ts:
+                    return  # end-of-stream flush pane: dropped below too
+                estimate, bound, groups, kept, total, recovery = pane_meta["value"]
+                pane_meta["index"] += 1
+                pane_meta["emitted"].append(
+                    WindowResult(
+                        end=ts,
+                        estimate=estimate,
+                        exact=None,
+                        error=bound,
+                        groups=groups,
+                        sampled_items=kept,
+                        total_items=total,
+                        recovery=recovery,
+                    )
+                )
+                if pane_meta["index"] % every:
+                    return
+                store.save(
+                    PaneCheckpoint(
+                        plan_name=plan.name,
+                        engine=plan.engine,
+                        strategy=plan.strategy,
+                        pane_index=pane_meta["index"],
+                        pane_end=ts,
+                        stream_position=bisect_left(stream, ts, key=timestamp_of),
+                        results=tuple(pane_meta["emitted"]),
+                        state={
+                            "strategy": bound_strategy.state(),
+                            "sampler": interval_sampler_state(sampler),
+                            "controller": (
+                                controller_state(controller)
+                                if controller is not None
+                                else None
+                            ),
+                            "recent": tuple(recent),
+                        },
+                    )
+                )
 
         raw = (
             Pipeline(cluster)
-            .sample_oasrs(sampler, slide=window.slide)
+            .sample_oasrs(sampler, slide=window.slide, start=op_start)
             .charge(count_fn=lambda sample: sample.total_items)
             .window_samples(
                 intervals_per_window=window.intervals_per_window,
                 aggregate=aggregate_samples,
                 charge_processing=False,
+                preload=preload,
+                state_hook=state_hook,
             )
             .sink_collect()
-            .run(stream, chunk_size=config.chunk_size)
+            .run(feed, chunk_size=config.chunk_size)
         )
         records = [
-            (ts, estimate, bound, groups, kept, total)
-            for ts, (estimate, bound, groups, kept, total) in raw
+            (ts, estimate, bound, groups, kept, total, recovery)
+            for ts, (estimate, bound, groups, kept, total, recovery) in raw
         ]
     else:
+        op_start = 0.0
+        preload = None
+        feed = stream
+        if resume_from is not None:
+            state = resume_from.state
+            bound_strategy.restore(state["strategy"])
+            preload = list(state["pane_items"])
+            op_start = resume_from.pane_end
+            feed = stream[resume_from.stream_position :]
 
         def aggregate_exact(pane_items):
             sample = full_weight_sample([item for _ts, item in pane_items], query.key_fn)
             estimate, bound, groups = estimate_pane(sample, query, confidence)
+            if store is not None:
+                # Sliding-window panes fire at consecutive slide multiples
+                # from the operator's start, so the pane count recovers the
+                # absolute fire time the aggregate callback never sees.
+                pane_meta["index"] += 1
+                end = op_start + (pane_meta["index"] - pane_meta["base"]) * window.slide
+                if end <= last_ts:
+                    pane_meta["emitted"].append(
+                        WindowResult(
+                            end=end,
+                            estimate=estimate,
+                            exact=None,
+                            error=bound,
+                            groups=groups,
+                            sampled_items=sample.total_items,
+                            total_items=sample.total_items,
+                        )
+                    )
+                    if pane_meta["index"] % every == 0:
+                        store.save(
+                            PaneCheckpoint(
+                                plan_name=plan.name,
+                                engine=plan.engine,
+                                strategy=plan.strategy,
+                                pane_index=pane_meta["index"],
+                                pane_end=end,
+                                stream_position=bisect_left(
+                                    stream, end, key=timestamp_of
+                                ),
+                                results=tuple(pane_meta["emitted"]),
+                                state={
+                                    "strategy": bound_strategy.state(),
+                                    "pane_items": tuple(pane_items),
+                                },
+                            )
+                        )
             return estimate, bound, groups, sample.total_items
 
+        pane_meta["base"] = pane_meta["index"]
         raw = (
             Pipeline(cluster)
             .charge()  # per-item query processing, charged exactly once
@@ -293,22 +574,23 @@ def run_pipelined(
                 length=window.length,
                 slide=window.slide,
                 aggregate=aggregate_exact,
+                start=op_start,
                 charge_processing=False,
+                preload=preload,
             )
             .sink_collect()
-            .run(stream, chunk_size=config.chunk_size)
+            .run(feed, chunk_size=config.chunk_size)
         )
         records = [
-            (ts, estimate, bound, groups, n, n)
+            (ts, estimate, bound, groups, n, n, ())
             for ts, (estimate, bound, groups, n) in raw
         ]
 
     # Drop the end-of-stream flush pane (it covers a partial interval beyond
     # the last watermark); the batched engine emits no such pane, so keeping
     # it would skew cross-system accuracy comparisons.
-    last_ts = stream[-1][0] if stream else 0.0
-    results: List[WindowResult] = []
-    for ts, estimate, bound, groups, kept, total in records:
+    results: List[WindowResult] = list(prior_results)
+    for ts, estimate, bound, groups, kept, total, recovery in records:
         if ts > last_ts:
             continue
         results.append(
@@ -320,6 +602,7 @@ def run_pipelined(
                 groups=groups,
                 sampled_items=kept,
                 total_items=total,
+                recovery=recovery,
             )
         )
     if controller is not None and adaptation_log is not None:
@@ -391,6 +674,8 @@ def _pane_stats(moment_sets) -> List[StratumStats]:
 def run_direct(
     plan: ExecutionPlan,
     adaptation_log: Optional[List[AdaptationPoint]] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    resume_from: Optional[PaneCheckpoint] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster, float]:
     """Interval loop over the raw sampling stack; no engine in the hot path.
 
@@ -399,6 +684,10 @@ def run_direct(
     offer/process_chunk/shard section) — the number the chunked and sharded
     fast paths improve, reported by
     `repro.system.native.NativeStreamApproxSystem.timed_execute`.
+
+    Checkpoints capture the interval sampler (in-process or sharded), the
+    bound strategy, the controller, and the in-window interval history;
+    resume restarts the interval loop at the checkpointed boundary.
     """
     stream = plan.source.events()
     config, window, query = plan.config, plan.window, plan.query
@@ -407,6 +696,8 @@ def run_direct(
     )
     results: List[WindowResult] = []
     if not stream:
+        if resume_from is not None:
+            results = list(resume_from.results)
         return results, cluster, 0.0
     controller = _make_controller(plan)
     if controller is not None:
@@ -422,6 +713,7 @@ def run_direct(
     # Sharded samplers expose a whole-interval entry point; use it to skip
     # the per-item offer buffering (the executor chunks internally).
     run_interval = getattr(sampler, "run_interval", None)
+    store, every = _checkpoint_setup(plan, checkpoint_store)
 
     chunk = config.chunk_size
     history = deque(maxlen=window.intervals_per_window)
@@ -435,6 +727,19 @@ def run_direct(
     timestamp_of = itemgetter(0)
     start_idx = 0
     boundary = slide
+    pane_index = 0
+    if resume_from is not None:
+        _validate_resume(plan, resume_from, n)
+        state = resume_from.state
+        bound_strategy.restore(state["strategy"])
+        restore_interval_sampler(sampler, state["sampler"])
+        if controller is not None and state["controller"] is not None:
+            restore_controller(controller, state["controller"])
+        history.extend(state["history"])
+        results = list(resume_from.results)
+        start_idx = resume_from.stream_position
+        boundary = resume_from.pane_end + slide
+        pane_index = resume_from.pane_index
     while start_idx < n:
         end_idx = bisect_left(stream, boundary, lo=start_idx, key=timestamp_of)
         items = [item for _ts, item in stream[start_idx:end_idx]]
@@ -491,6 +796,7 @@ def run_direct(
             bound_strategy.set_interval_budget(
                 controller.on_pane(strata, bound, population)
             )
+        recovery = tuple(bound_strategy.drain_recovery_events())
         results.append(
             WindowResult(
                 end=pane_end,
@@ -500,8 +806,32 @@ def run_direct(
                 groups=groups,
                 sampled_items=sampled,
                 total_items=population,
+                recovery=recovery,
             )
         )
+        pane_index += 1
+        if store is not None and pane_index % every == 0:
+            store.save(
+                PaneCheckpoint(
+                    plan_name=plan.name,
+                    engine=plan.engine,
+                    strategy=plan.strategy,
+                    pane_index=pane_index,
+                    pane_end=pane_end,
+                    stream_position=start_idx,
+                    results=tuple(results),
+                    state={
+                        "strategy": bound_strategy.state(),
+                        "sampler": interval_sampler_state(sampler),
+                        "controller": (
+                            controller_state(controller)
+                            if controller is not None
+                            else None
+                        ),
+                        "history": tuple(history),
+                    },
+                )
+            )
     if controller is not None and adaptation_log is not None:
         adaptation_log.extend(controller.trajectory)
     return results, cluster, sampling_seconds

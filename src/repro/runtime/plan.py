@@ -143,6 +143,24 @@ def build_plan(
             f"{strategy!r} strategy: only reservoir-based strategies shard "
             "without synchronization (use strategy 'oasrs', or parallelism=1)"
         )
+    if config.checkpoint is not None:
+        plan_source = source if source is not None else ListSource([])
+        if not plan_source.replayable:
+            raise PlanError(
+                "checkpointing requires a replayable source: resume replays "
+                "the stream from the checkpointed offset, which a "
+                f"{type(plan_source).__name__} cannot reproduce (use a "
+                "ListSource, or a TopicSource with rewind=True so the "
+                "broker's topic-global seq restores the production order)"
+            )
+    if config.faults is not None and (
+        config.parallelism <= 1 or not strat.supports_parallelism
+    ):
+        raise PlanError(
+            "fault injection (SystemConfig.faults) kills shard workers, so it "
+            f"requires parallelism >= 2 with a shardable strategy; got "
+            f"parallelism={config.parallelism} with strategy {strategy!r}"
+        )
     if engine == "batched":
         ratio = window.slide / config.batch_interval
         if abs(ratio - round(ratio)) > 1e-9:

@@ -32,6 +32,7 @@ from ..core.query import (
     grouped_mean,
     grouped_sum,
 )
+from ..core.recovery import RecoveryEvent
 from ..core.strata import WeightedSample
 from ..engine.batched.dstream import Batcher, SlidingWindower
 from .config import StreamQuery, WindowConfig
@@ -72,6 +73,10 @@ class WindowResult:
     exact_groups: Dict[Hashable, float] = field(default_factory=dict)
     sampled_items: int = 0
     total_items: int = 0
+    #: Worker-loss incidents absorbed by this pane (discard-and-rewiden):
+    #: empty for healthy panes; populated from the sharded executor's
+    #: recovery log when `SystemConfig.faults` injected a kill.
+    recovery: Tuple[RecoveryEvent, ...] = ()
 
     @property
     def accuracy_loss(self) -> Optional[float]:
@@ -137,6 +142,16 @@ class SystemReport:
     def mean_estimates(self) -> List[Tuple[float, float]]:
         """(pane end, estimate) series — the Figure 7 time series."""
         return [(r.end, r.estimate) for r in self.results]
+
+    @property
+    def recovery_events(self) -> List[RecoveryEvent]:
+        """All worker-loss incidents across the run's panes, in pane order."""
+        return [event for r in self.results for event in r.recovery]
+
+    @property
+    def items_lost(self) -> int:
+        """Total items discarded to worker failures (coverage shortfall)."""
+        return sum(event.items_lost for event in self.recovery_events)
 
 
 def accuracy_loss(approx: float, exact: float) -> float:
@@ -239,6 +254,7 @@ def join_ground_truth(
                     exact_groups=exact_groups,
                     sampled_items=result.sampled_items,
                     total_items=count,
+                    recovery=result.recovery,
                 )
             )
     return matched

@@ -37,6 +37,17 @@ class PlanSource:
     def events(self) -> List[Tuple[float, object]]:
         raise NotImplementedError
 
+    @property
+    def replayable(self) -> bool:
+        """Whether repeated ``events()`` calls reproduce the same stream.
+
+        Checkpoint-based resume slices the event list at the checkpointed
+        offset, so it is only sound over sources that re-deliver the exact
+        same ordered stream.  Subclasses that can guarantee this override
+        to True; the conservative default is False.
+        """
+        return False
+
 
 class ListSource(PlanSource):
     """Wrap an already-materialised in-memory stream.
@@ -52,6 +63,11 @@ class ListSource(PlanSource):
 
     def events(self) -> List[Tuple[float, object]]:
         return self._stream
+
+    @property
+    def replayable(self) -> bool:
+        """An in-memory list always re-delivers the same stream."""
+        return True
 
 
 class TopicSource(PlanSource):
@@ -119,6 +135,18 @@ class TopicSource(PlanSource):
         # merged stream is exactly the production order.
         records.sort(key=lambda r: (r.timestamp, r.seq))
         return [(r.timestamp, r.value) for r in records]
+
+    @property
+    def replayable(self) -> bool:
+        """Replayable iff the source rewinds before every drain.
+
+        With ``rewind=True`` each ``events()`` re-drains the full topic and
+        the broker's topic-global ``seq`` reconstructs the exact production
+        order — the replay-offset contract checkpoint resume depends on.
+        Without rewind, offsets advance per drain and an earlier prefix is
+        gone for good.
+        """
+        return self._rewind
 
 
 def as_source(stream_or_source) -> PlanSource:

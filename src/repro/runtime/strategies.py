@@ -41,6 +41,12 @@ from typing import Callable, Dict, List, Sequence, Type
 
 from ..core.distributed import ShardedExecutor, ShardedIntervalSampler
 from ..core.oasrs import OASRSSampler, WaterFillingAllocation
+from ..core.recovery import (
+    restore_attrs,
+    restore_sampler,
+    sampler_state,
+    snapshot_attrs,
+)
 from ..core.strata import StratumSample, WeightedSample, stratum_weight
 from ..engine.batched.context import StreamingContext
 from .plan import ExecutionPlan, PlanError
@@ -166,6 +172,29 @@ class BoundStrategy:
         interval role ignore it.
         """
 
+    # -- checkpoint / recovery role -----------------------------------------
+
+    def state(self) -> dict:
+        """Plain-data snapshot of the batched-role per-run state.
+
+        Taken at pane boundaries by `repro.runtime.checkpoint`; subclasses
+        extend the dict with their RNGs/samplers.  Interval-role sampler
+        state is captured separately through the sampler the driver holds.
+        """
+        return {"fraction_override": self._fraction_override}
+
+    def restore(self, state: dict) -> None:
+        """Restore a `state` snapshot exactly (RNG streams included)."""
+        self._fraction_override = state["fraction_override"]
+
+    def drain_recovery_events(self) -> list:
+        """Return and clear worker-loss events since the last pane.
+
+        Non-sharded strategies never lose workers; the base returns an
+        empty list so drivers can call this unconditionally.
+        """
+        return []
+
 
 @register_strategy
 class NoSamplingStrategy(SamplingStrategy):
@@ -221,6 +250,15 @@ class _BoundSRS(BoundStrategy):
         super().__init__(strategy, plan)
         self._rng = random.Random(plan.config.seed)
 
+    def state(self) -> dict:
+        state = super().state()
+        state["rng"] = self._rng.getstate()
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._rng.setstate(state["rng"])
+
     def sample_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
         config = self.plan.config
         rdd = ctx.rdd_of(items)
@@ -259,6 +297,15 @@ class _BoundSTS(BoundStrategy):
     def __init__(self, strategy: SamplingStrategy, plan: ExecutionPlan) -> None:
         super().__init__(strategy, plan)
         self._rng = random.Random(plan.config.seed)
+
+    def state(self) -> dict:
+        state = super().state()
+        state["rng"] = self._rng.getstate()
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._rng.setstate(state["rng"])
 
     def sample_batch(self, ctx: StreamingContext, items: Sequence[object]) -> WeightedSample:
         config = self.plan.config
@@ -329,6 +376,48 @@ class _BoundOASRS(BoundStrategy):
         self._policy: WaterFillingAllocation = None  # type: ignore[assignment]
         self._interval_policy: WaterFillingAllocation = None  # type: ignore[assignment]
         self._interval_sampler = None
+
+    # -- checkpoint / recovery role ------------------------------------------
+
+    def state(self) -> dict:
+        state = super().state()
+        state["rng"] = self._rng.getstate()
+        state["policy"] = (
+            snapshot_attrs(self._policy) if self._policy is not None else None
+        )
+        state["sampler"] = (
+            sampler_state(self._sampler) if self._sampler is not None else None
+        )
+        state["executor"] = (
+            self._executor.state() if self._executor is not None else None
+        )
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        if state["policy"] is not None and self._policy is None:
+            # The batched-role objects are built lazily on the first batch;
+            # construct them (placeholder budget/strata — overwritten just
+            # below) so there is something to restore onto.
+            self._ensure_batch_sampler(1, 1)
+        if state["policy"] is not None:
+            restore_attrs(self._policy, state["policy"])
+        if state["sampler"] is not None and self._sampler is not None:
+            restore_sampler(self._sampler, state["sampler"])
+        if state["executor"] is not None and self._executor is not None:
+            self._executor.restore(state["executor"])
+        # Last: the sampler restore rewinds the shared RNG to the same
+        # snapshot, but setting it here keeps the order-independence explicit.
+        self._rng.setstate(state["rng"])
+
+    def drain_recovery_events(self) -> list:
+        events: list = []
+        if self._executor is not None:
+            events.extend(self._executor.drain_recovery_events())
+        drain = getattr(self._interval_sampler, "drain_recovery_events", None)
+        if drain is not None:
+            events.extend(drain())
+        return events
 
     # -- batched role -----------------------------------------------------------
 
@@ -425,4 +514,5 @@ class _BoundOASRS(BoundStrategy):
             self.plan.query.key_fn,
             seed=config.seed,
             chunk_size=config.chunk_size if config.chunk_size > 1 else 1024,
+            faults=config.faults,
         )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..runtime.checkpoint import CheckpointStore, PaneCheckpoint
 from ..runtime.driver import execute_plan
 from ..runtime.plan import ExecutionPlan, build_plan
 from ..runtime.report import (  # noqa: F401  (re-exported compatibility names)
@@ -89,6 +90,11 @@ class StreamSystem:
         #: Per-interval budget-adaptation trajectory of the most recent run
         #: (empty for fixed-fraction configs); also attached to the report.
         self.adaptation: list = []
+        #: Pane checkpoints of the most recent run, when the config sets a
+        #: `repro.runtime.checkpoint.CheckpointPolicy`; None otherwise.
+        self.checkpoints: Optional[CheckpointStore] = None
+        #: Checkpoint the in-flight ``run`` is resuming from, if any.
+        self._resume_from: Optional[PaneCheckpoint] = None
 
     def plan(self, source: Optional[PlanSource] = None) -> ExecutionPlan:
         """Build this system's validated `ExecutionPlan` for one run."""
@@ -107,12 +113,28 @@ class StreamSystem:
             name=self.name,
         )
 
-    def run(self, stream) -> SystemReport:
-        """Process a stream (a ``(timestamp, item)`` list or a `PlanSource`)."""
+    def run(
+        self, stream, resume_from: Optional[PaneCheckpoint] = None
+    ) -> SystemReport:
+        """Process a stream (a ``(timestamp, item)`` list or a `PlanSource`).
+
+        With ``resume_from`` (a `PaneCheckpoint` of an earlier run over the
+        same stream) the run restores the checkpointed state and replays
+        only the remaining suffix; the resulting panes are bitwise
+        identical to an uninterrupted run's.  Checkpoints are collected in
+        ``self.checkpoints`` whenever ``config.checkpoint`` is set.
+        """
         events = as_source(stream).events()
         truth = exact_panes(events, self.query, self.window)
         self.adaptation = []
-        results, cluster = self._execute(events)
+        self.checkpoints = (
+            CheckpointStore() if self.config.checkpoint is not None else None
+        )
+        self._resume_from = resume_from
+        try:
+            results, cluster = self._execute(events)
+        finally:
+            self._resume_from = None
         return SystemReport(
             system=self.name,
             results=join_ground_truth(results, truth),
@@ -124,5 +146,8 @@ class StreamSystem:
     def _execute(self, stream: List[Tuple[float, object]]):
         """Run the system's plan; override only for experimental systems."""
         return execute_plan(
-            self.plan(ListSource(stream)), adaptation_log=self.adaptation
+            self.plan(ListSource(stream)),
+            adaptation_log=self.adaptation,
+            checkpoint_store=self.checkpoints,
+            resume_from=self._resume_from,
         )

@@ -107,7 +107,10 @@ class NativeStreamApproxSystem(StreamSystem):
 
     def _execute(self, stream: List[Tuple[float, object]]):
         results, cluster, sampling_seconds = run_direct(
-            self.plan(ListSource(stream)), adaptation_log=self.adaptation
+            self.plan(ListSource(stream)),
+            adaptation_log=self.adaptation,
+            checkpoint_store=getattr(self, "checkpoints", None),
+            resume_from=getattr(self, "_resume_from", None),
         )
         self.last_sampling_seconds = sampling_seconds
         return results, cluster

@@ -1,0 +1,19 @@
+"""Chaos-test harness configuration: the seed matrix.
+
+Every test in this package takes a ``chaos_seed`` argument; the harness
+parametrizes it from the ``REPRO_CHAOS_SEEDS`` environment variable (a
+comma- or space-separated list, default ``7``).  CI runs the suite across
+several seeds (see the ``chaos`` job in ``.github/workflows/ci.yml`` and
+``make chaos``); locally, ``REPRO_CHAOS_SEEDS="7,19,23" pytest tests/chaos``
+reproduces the full matrix.  Shared workload/plan helpers live in
+``tests/chaos/harness.py``.
+"""
+
+import os
+
+
+def pytest_generate_tests(metafunc):
+    if "chaos_seed" in metafunc.fixturenames:
+        raw = os.environ.get("REPRO_CHAOS_SEEDS", "7")
+        seeds = [int(part) for part in raw.replace(",", " ").split()]
+        metafunc.parametrize("chaos_seed", seeds)

@@ -1,0 +1,46 @@
+"""Shared workload and plan helpers for the chaos suite."""
+
+from repro.runtime import (
+    ListSource,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+    build_plan,
+)
+from repro.workloads.synthetic import stream_by_rates
+
+CHAOS_WINDOW = WindowConfig(length=5.0, slide=2.5)
+
+
+def chaos_stream(seed):
+    """Skewed three-strata stream, long enough for several checkpoints."""
+    return stream_by_rates({"A": 400, "B": 100, "C": 10}, duration=20, seed=seed)
+
+
+def chaos_query():
+    return StreamQuery(
+        key_fn=lambda it: it[0], value_fn=lambda it: it[1], kind="mean",
+        name="chaos-mean",
+    )
+
+
+def chaos_plan(stream, engine="direct", strategy="oasrs", **config_overrides):
+    # batch_interval divides the 2.5 s slide so the batched engine can fire
+    # panes on micro-batch boundaries; the other engines ignore it.
+    config = SystemConfig(
+        sampling_fraction=0.5, seed=17, batch_interval=0.5, **config_overrides
+    )
+    return build_plan(
+        chaos_query(), CHAOS_WINDOW, config,
+        engine=engine, strategy=strategy,
+        source=ListSource(stream), name=f"chaos-{engine}-{strategy}",
+    )
+
+
+def pane_fingerprint(results):
+    """Exact per-pane identity used by every bitwise-match assertion."""
+    return [
+        (r.end, r.estimate, r.sampled_items, r.total_items,
+         r.error.margin if r.error is not None else None)
+        for r in results
+    ]

@@ -1,0 +1,126 @@
+"""Crash-and-resume chaos: kill the run between panes, resume, match exactly.
+
+For every engine the runtime drives (batched micro-batches, pipelined
+operators, the direct executor — sampled and exact), a checkpointed run
+must be indistinguishable from an unobserved one, and resuming from *any*
+checkpoint — including one that crossed a process boundary as pickled
+bytes — must reproduce the uninterrupted run's remaining panes bit for
+bit.  The broker variant pins the replay-offset contract: resume over a
+rewindable `TopicSource` relies on the broker's topic-global sequence
+numbers re-producing the exact same event order.
+"""
+
+import pytest
+
+from chaos.harness import chaos_plan, chaos_query, chaos_stream, pane_fingerprint
+from repro.aggregator.broker import Broker
+from repro.aggregator.producer import Producer
+from repro.runtime import (
+    CheckpointPolicy,
+    CheckpointStore,
+    PaneCheckpoint,
+    TopicSource,
+    execute_plan,
+)
+
+ENGINES = [
+    ("batched", "oasrs"),
+    ("pipelined", "oasrs"),
+    ("pipelined", "none"),
+    ("direct", "oasrs"),
+]
+
+
+@pytest.mark.parametrize("engine,strategy", ENGINES)
+class TestCrashResume:
+    def run_base(self, stream, engine, strategy):
+        results, _cluster = execute_plan(chaos_plan(stream, engine, strategy))
+        return results
+
+    def run_checkpointed(self, stream, engine, strategy, every=1):
+        store = CheckpointStore()
+        results, _cluster = execute_plan(
+            chaos_plan(stream, engine, strategy,
+                       checkpoint=CheckpointPolicy(every=every)),
+            checkpoint_store=store,
+        )
+        return results, store
+
+    def test_checkpointing_is_a_pure_observer(self, chaos_seed, engine, strategy):
+        stream = chaos_stream(chaos_seed)
+        base = self.run_base(stream, engine, strategy)
+        observed, store = self.run_checkpointed(stream, engine, strategy)
+        assert pane_fingerprint(observed) == pane_fingerprint(base)
+        assert len(store) >= 2, "workload too short to exercise resume"
+
+    def test_resume_from_every_checkpoint_matches(self, chaos_seed, engine, strategy):
+        stream = chaos_stream(chaos_seed)
+        base = self.run_base(stream, engine, strategy)
+        _observed, store = self.run_checkpointed(stream, engine, strategy)
+        for index in store.indices():
+            resumed, _ = execute_plan(
+                chaos_plan(stream, engine, strategy,
+                           checkpoint=CheckpointPolicy(every=1)),
+                resume_from=store.get(index),
+            )
+            assert pane_fingerprint(resumed) == pane_fingerprint(base), (
+                f"resume from checkpoint {index} diverged"
+            )
+
+    def test_resume_from_pickled_checkpoint_matches(self, chaos_seed, engine, strategy):
+        # The crash crosses a process boundary: the checkpoint survives only
+        # as bytes, as it would on disk.
+        stream = chaos_stream(chaos_seed)
+        base = self.run_base(stream, engine, strategy)
+        _observed, store = self.run_checkpointed(stream, engine, strategy)
+        revived = PaneCheckpoint.from_bytes(store.latest().to_bytes())
+        resumed, _ = execute_plan(
+            chaos_plan(stream, engine, strategy,
+                       checkpoint=CheckpointPolicy(every=1)),
+            resume_from=revived,
+        )
+        assert pane_fingerprint(resumed) == pane_fingerprint(base)
+
+    def test_sparse_checkpoint_cadence_also_resumes(self, chaos_seed, engine, strategy):
+        stream = chaos_stream(chaos_seed)
+        base = self.run_base(stream, engine, strategy)
+        _observed, store = self.run_checkpointed(stream, engine, strategy, every=2)
+        assert all(index % 2 == 0 for index in store.indices())
+        resumed, _ = execute_plan(
+            chaos_plan(stream, engine, strategy,
+                       checkpoint=CheckpointPolicy(every=2)),
+            resume_from=store.latest(),
+        )
+        assert pane_fingerprint(resumed) == pane_fingerprint(base)
+
+
+def test_resume_over_rewindable_broker_topic(chaos_seed):
+    # Replay-offset soundness end to end: the checkpointed stream position
+    # indexes the broker's seq-ordered replay, which must re-produce the
+    # exact order even across partitions.
+    stream = chaos_stream(chaos_seed)
+    query = chaos_query()
+    broker = Broker()
+    broker.create_topic("chaos", num_partitions=4)
+    producer = Producer(broker, "chaos")
+    for timestamp, item in stream:
+        producer.send(timestamp, item, key=query.key_fn(item))
+
+    def topic_plan(checkpoint=None):
+        source = TopicSource(broker, "chaos", group_id="chaos-resume", members=2)
+        plan = chaos_plan([], "direct", "oasrs", **(
+            {"checkpoint": checkpoint} if checkpoint else {}
+        ))
+        return plan.with_source(source)
+
+    base, _ = execute_plan(topic_plan())
+    store = CheckpointStore()
+    observed, _ = execute_plan(
+        topic_plan(CheckpointPolicy(every=1)), checkpoint_store=store
+    )
+    assert pane_fingerprint(observed) == pane_fingerprint(base)
+    for index in store.indices():
+        resumed, _ = execute_plan(
+            topic_plan(CheckpointPolicy(every=1)), resume_from=store.get(index)
+        )
+        assert pane_fingerprint(resumed) == pane_fingerprint(base)

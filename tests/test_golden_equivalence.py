@@ -116,3 +116,56 @@ def test_budget_driven_native_systems_rejected(case):
     cls = {c.name: c for c in _SEVEN}[case]
     with pytest.raises(PlanError, match="requires a sampling strategy"):
         _budget_report(cls)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume against the golden reference
+#
+# The fault-tolerance service must be invisible to the numbers: a run that
+# checkpoints every pane still fingerprints identically to the golden JSON,
+# and a run killed after pane k and resumed from its checkpoint reproduces
+# the golden panes bit for bit — one case per engine (batched / pipelined /
+# direct), which between them cover all three driver loops.
+# ---------------------------------------------------------------------------
+
+_RESUME_CASES = ["spark-streamapprox", "flink-streamapprox", "native-streamapprox"]
+
+
+def _checkpointed_system(cls):
+    from golden_config import WINDOW, golden_config, golden_query
+    from repro.runtime import CheckpointPolicy
+
+    config = golden_config(checkpoint=CheckpointPolicy(every=1))
+    return cls(golden_query(), WINDOW, config)
+
+
+@pytest.mark.parametrize("case", _RESUME_CASES)
+def test_checkpointed_run_still_matches_golden(case):
+    from golden_config import _SEVEN, golden_stream, report_fingerprint
+
+    cls = {c.name: c for c in _SEVEN}[case]
+    system = _checkpointed_system(cls)
+    got = report_fingerprint(system.run(golden_stream()))
+    assert_matches(got, GOLDEN[case], path=f"{case}@checkpointed")
+    assert system.checkpoints is not None and len(system.checkpoints) >= 2
+
+
+@pytest.mark.parametrize("case", _RESUME_CASES)
+def test_resume_from_every_checkpoint_matches_golden(case):
+    from golden_config import _SEVEN, golden_stream, report_fingerprint
+
+    cls = {c.name: c for c in _SEVEN}[case]
+    stream = golden_stream()
+    system = _checkpointed_system(cls)
+    system.run(stream)
+    store = system.checkpoints
+    for index in store.indices():
+        resumed = _checkpointed_system(cls).run(
+            stream, resume_from=store.get(index)
+        )
+        # Pane-level comparison only: the resumed run re-processes just the
+        # stream suffix, so its virtual-time charge is legitimately lower.
+        assert_matches(
+            report_fingerprint(resumed)["panes"], GOLDEN[case]["panes"],
+            path=f"{case}@resume[{index}]",
+        )
