@@ -4,9 +4,13 @@
 #   make smoke      — fast end-to-end sanity run of examples/quickstart.py
 #   make bench      — only the figure-reproduction benchmarks
 #   make bench-json — benchmarks with machine-readable results for
-#                     trajectory tracking (benchmarks/results/bench.json);
+#                     trajectory tracking (benchmarks/results/bench.json,
+#                     plus per-figure artifacts such as
+#                     benchmarks/results/BENCH_fig6a.json);
 #                     includes the budget-loop convergence gate
 #                     (REPRO_ADAPT_MAX_INTERVALS tunes its deadline)
+#                     and, when REPRO_FIG6A_MIN_SHARD_SPEEDUP is set, the
+#                     multi-core shard-scaling gate
 #   make chaos      — fault-tolerance chaos suite (crash/resume + shard
 #                     kills); REPRO_CHAOS_SEEDS selects the seed matrix,
 #                     e.g. make chaos REPRO_CHAOS_SEEDS="7,19,23"

@@ -20,11 +20,18 @@ large chunks (>= 1024) beat the item-at-a-time sampling path by >= 2x; and
 4-way sharding keeps accuracy within the same error bounds as the
 single-process run.
 
-Note on sharding: with real processes the win depends on available cores —
-on a single-core CI box the fork+pickle overhead dominates, so only the
-accuracy claim is asserted for the sharded mode, not a speedup.
+Note on sharding: the sharded mode runs over the persistent worker pool
+(processes spawned once per run, chunks moved via shared memory), so its
+throughput is now a genuine multi-core measurement — but the *win* still
+depends on cores actually being available.  On a single-core box the
+shards time-slice one CPU and cannot beat the in-process chunk path, so
+the shard-speedup gate only arms when ``REPRO_FIG6A_MIN_SHARD_SPEEDUP``
+is set (CI sets it on multi-core runners); the accuracy claim is always
+asserted.  Every run also writes ``benchmarks/results/BENCH_fig6a.json``,
+a machine-readable perf-trajectory artifact.
 """
 
+import json
 import os
 
 from repro.system import NativeStreamApproxSystem, SystemConfig
@@ -38,6 +45,11 @@ REPEATS = 3  # best-of, to shrug off scheduler noise
 # well above 2x on an idle box; shared CI runners are throttled and noisy, so
 # CI relaxes the gate via this env var rather than flaking unrelated PRs.
 MIN_SPEEDUP = float(os.environ.get("REPRO_FIG6A_MIN_SPEEDUP", "2.0"))
+# Required end-to-end speedup of shard=4 over the best single-process chunked
+# row.  Unset by default: parallel speedup is a property of the machine (a
+# 1-core box physically cannot deliver it), so the gate arms only where the
+# cores exist — CI's shard-scaling job sets e.g. "1.0".
+MIN_SHARD_SPEEDUP = os.environ.get("REPRO_FIG6A_MIN_SHARD_SPEEDUP")
 
 
 def _throughput(stream, chunk_size=0, parallelism=1):
@@ -53,6 +65,10 @@ def _throughput(stream, chunk_size=0, parallelism=1):
         )
         system = NativeStreamApproxSystem(MICRO_QUERY, WINDOW, config)
         _results, _cluster, wall = system.timed_execute(stream)
+        fallback = system._run_info.get("parallel_fallback")
+        assert fallback is None, (
+            f"parallelism={parallelism} silently degraded: {fallback}"
+        )
         best_total = max(best_total, len(stream) / wall)
         best_sampling = max(best_sampling, len(stream) / system.last_sampling_seconds)
     return best_total, best_sampling
@@ -85,6 +101,7 @@ def test_fig6a_chunked(benchmark, micro_stream):
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "fig6a_chunked_scalability.txt").write_text(text + "\n")
+    _write_bench_json(rows, base_total, base_sampling)
     for setting, (total, sampling) in rows.items():
         benchmark.extra_info[f"wall_throughput/{setting}"] = round(total, 1)
         benchmark.extra_info[f"sampling_throughput/{setting}"] = round(sampling, 1)
@@ -95,6 +112,43 @@ def test_fig6a_chunked(benchmark, micro_stream):
     # ...and large chunks beat the item-at-a-time sampling path >= MIN_SPEEDUP.
     for chunk in (1024, 4096):
         assert rows[f"chunk={chunk}"][1] >= MIN_SPEEDUP * base_sampling
+    # With enough cores (gate armed by env), the persistent pool turns
+    # parallelism into real end-to-end throughput: shard=4 beats the best
+    # single-process chunked row.
+    if MIN_SHARD_SPEEDUP is not None:
+        best_chunked = max(rows[f"chunk={c}"][0] for c in CHUNKS)
+        assert rows["shard=4"][0] >= float(MIN_SHARD_SPEEDUP) * best_chunked, (
+            f"shard=4 end-to-end {rows['shard=4'][0]:,.0f} it/s below "
+            f"{MIN_SHARD_SPEEDUP}x the best chunked row {best_chunked:,.0f} it/s"
+        )
+
+
+def _write_bench_json(rows, base_total, base_sampling):
+    """Persist the sweep as a perf-trajectory artifact (BENCH_fig6a.json)."""
+    payload = {
+        "benchmark": "fig6a_chunked_scalability",
+        "workload": {"fraction": FRACTION, "repeats": REPEATS},
+        "machine": {"cpu_count": os.cpu_count()},
+        "gates": {
+            "min_speedup": MIN_SPEEDUP,
+            "min_shard_speedup": (
+                float(MIN_SHARD_SPEEDUP) if MIN_SHARD_SPEEDUP is not None else None
+            ),
+        },
+        "rows": [
+            {
+                "setting": setting,
+                "end_to_end_items_per_s": round(total, 1),
+                "end_to_end_speedup": round(total / base_total, 3),
+                "sampling_items_per_s": round(sampling, 1),
+                "sampling_speedup": round(sampling / base_sampling, 3),
+            }
+            for setting, (total, sampling) in rows.items()
+        ],
+    }
+    (RESULTS_DIR / "BENCH_fig6a.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
 
 def test_fig6a_sharded_accuracy(micro_stream):

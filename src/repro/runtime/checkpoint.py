@@ -194,7 +194,12 @@ def interval_sampler_state(sampler) -> Dict[str, Any]:
 
     Dispatches on the two interval-sampler shapes the runtime builds: the
     in-process `OASRSSampler` and the `ShardedIntervalSampler` wrapper
-    around a multi-process executor.
+    around the persistent multi-process executor.  The sharded snapshot
+    needs nothing from the worker processes themselves: shard samplers are
+    rebuilt from coordinator-drawn seeds every interval, so at a pane
+    boundary the pool is stateless and the coordinator's RNG / live-set /
+    policy snapshot (plus the flattened in-flight buffer) is the whole
+    resumable state.
     """
     if isinstance(sampler, ShardedIntervalSampler):
         return {"kind": "sharded", "state": sampler.state()}
@@ -202,7 +207,13 @@ def interval_sampler_state(sampler) -> Dict[str, Any]:
 
 
 def restore_interval_sampler(sampler, payload: Dict[str, Any]) -> None:
-    """Restore an `interval_sampler_state` snapshot onto a rebuilt sampler."""
+    """Restore an `interval_sampler_state` snapshot onto a rebuilt sampler.
+
+    Restoring a sharded sampler also tears down any spawned worker pool
+    (`ShardedExecutor.restore`): the restored live-worker set need not
+    match the running processes, so the pool re-spawns from the restored
+    state on the next parallel interval.
+    """
     kind = payload["kind"]
     if kind == "sharded":
         if not isinstance(sampler, ShardedIntervalSampler):

@@ -180,6 +180,7 @@ def execute_plan(
     adaptation_log: Optional[List[AdaptationPoint]] = None,
     checkpoint_store: Optional[CheckpointStore] = None,
     resume_from: Optional[PaneCheckpoint] = None,
+    run_info: Optional[dict] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Run a plan on its engine; returns (pane results, charged cluster).
 
@@ -193,6 +194,11 @@ def execute_plan(
     plan's config sets a `CheckpointPolicy`; ``resume_from`` restores one
     such checkpoint and continues mid-stream — the remaining panes are
     bitwise identical to the uninterrupted run's.
+
+    ``run_info``, when given, collects run diagnostics the result tuple
+    has no room for — currently ``"parallel_fallback"``, the reason a
+    ``parallelism > 1`` plan degraded to in-process sampling (absent when
+    the worker pool stayed healthy).
     """
     if plan.engine == "batched":
         return run_batched(
@@ -201,6 +207,7 @@ def execute_plan(
             adaptation_log=adaptation_log,
             checkpoint_store=checkpoint_store,
             resume_from=resume_from,
+            run_info=run_info,
         )
     if handle_batch is not None:
         raise PlanError("handle_batch overrides only apply to the batched engine")
@@ -210,6 +217,7 @@ def execute_plan(
             adaptation_log=adaptation_log,
             checkpoint_store=checkpoint_store,
             resume_from=resume_from,
+            run_info=run_info,
         )
     if plan.engine == "direct":
         results, cluster, _sampling_seconds = run_direct(
@@ -217,9 +225,26 @@ def execute_plan(
             adaptation_log=adaptation_log,
             checkpoint_store=checkpoint_store,
             resume_from=resume_from,
+            run_info=run_info,
         )
         return results, cluster
     raise PlanError(f"unknown engine {plan.engine!r}")
+
+
+def _finish_run(bound_strategy, run_info: Optional[dict]) -> None:
+    """Shared driver epilogue: report diagnostics, drain worker pools.
+
+    Runs in each loop's ``finally`` so the persistent shard pool is
+    released on success *and* on error/crash paths; the fallback reason is
+    read first because ``close`` is allowed to forget it.
+    """
+    if bound_strategy is None:
+        return
+    if run_info is not None:
+        reason = bound_strategy.parallel_fallback()
+        if reason:
+            run_info["parallel_fallback"] = reason
+    bound_strategy.close()
 
 
 # ---------------------------------------------------------------------------
@@ -233,6 +258,7 @@ def run_batched(
     adaptation_log: Optional[List[AdaptationPoint]] = None,
     checkpoint_store: Optional[CheckpointStore] = None,
     resume_from: Optional[PaneCheckpoint] = None,
+    run_info: Optional[dict] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Micro-batch loop: per-batch sampling, per-slide pane estimation.
 
@@ -299,68 +325,71 @@ def run_batched(
     else:
         batcher = ctx.batcher()
         feed = stream
-    for batch in batcher.batches(feed):
-        history.append(handle_batch(ctx, batch.items))
-        consumed += len(batch.items)
-        if len(history) > per_window:
-            del history[: len(history) - per_window]
-        if (batch.index + 1) % per_slide == 0:
-            pane_sample = combine_worker_samples(history[-per_window:])
-            estimate, bound, groups, strata = estimate_pane_stats(
-                pane_sample, query, config.confidence
-            )
-            if controller is not None:
-                next_total = controller.on_pane(
-                    strata, bound, pane_sample.total_count
+    try:
+        for batch in batcher.batches(feed):
+            history.append(handle_batch(ctx, batch.items))
+            consumed += len(batch.items)
+            if len(history) > per_window:
+                del history[: len(history) - per_window]
+            if (batch.index + 1) % per_slide == 0:
+                pane_sample = combine_worker_samples(history[-per_window:])
+                estimate, bound, groups, strata = estimate_pane_stats(
+                    pane_sample, query, config.confidence
                 )
-                if bound_strategy is not None:
-                    observed = controller.last_point.observed_items
-                    bound_strategy.set_sampling_fraction(
-                        min(1.0, next_total / max(1, observed))
+                if controller is not None:
+                    next_total = controller.on_pane(
+                        strata, bound, pane_sample.total_count
                     )
-            recovery = (
-                tuple(bound_strategy.drain_recovery_events())
-                if bound_strategy is not None
-                else ()
-            )
-            results.append(
-                WindowResult(
-                    end=batch.end,
-                    estimate=estimate,
-                    exact=None,
-                    error=bound,
-                    groups=groups,
-                    sampled_items=pane_sample.total_items,
-                    total_items=pane_sample.total_count,
-                    recovery=recovery,
+                    if bound_strategy is not None:
+                        observed = controller.last_point.observed_items
+                        bound_strategy.set_sampling_fraction(
+                            min(1.0, next_total / max(1, observed))
+                        )
+                recovery = (
+                    tuple(bound_strategy.drain_recovery_events())
+                    if bound_strategy is not None
+                    else ()
                 )
-            )
-            pane_index += 1
-            if store is not None and pane_index % every == 0:
-                # ``consumed`` counts only items in yielded batches; the
-                # boundary-crossing trigger item sits in the batcher's
-                # buffer, so the position is exactly the first event with
-                # ts >= this pane's end.
-                store.save(
-                    PaneCheckpoint(
-                        plan_name=plan.name,
-                        engine=plan.engine,
-                        strategy=plan.strategy,
-                        pane_index=pane_index,
-                        pane_end=batch.end,
-                        stream_position=consumed,
-                        results=tuple(results),
-                        state={
-                            "strategy": bound_strategy.state(),
-                            "controller": (
-                                controller_state(controller)
-                                if controller is not None
-                                else None
-                            ),
-                            "history": tuple(history),
-                        },
+                results.append(
+                    WindowResult(
+                        end=batch.end,
+                        estimate=estimate,
+                        exact=None,
+                        error=bound,
+                        groups=groups,
+                        sampled_items=pane_sample.total_items,
+                        total_items=pane_sample.total_count,
+                        recovery=recovery,
                     )
                 )
+                pane_index += 1
+                if store is not None and pane_index % every == 0:
+                    # ``consumed`` counts only items in yielded batches; the
+                    # boundary-crossing trigger item sits in the batcher's
+                    # buffer, so the position is exactly the first event with
+                    # ts >= this pane's end.
+                    store.save(
+                        PaneCheckpoint(
+                            plan_name=plan.name,
+                            engine=plan.engine,
+                            strategy=plan.strategy,
+                            pane_index=pane_index,
+                            pane_end=batch.end,
+                            stream_position=consumed,
+                            results=tuple(results),
+                            state={
+                                "strategy": bound_strategy.state(),
+                                "controller": (
+                                    controller_state(controller)
+                                    if controller is not None
+                                    else None
+                                ),
+                                "history": tuple(history),
+                            },
+                        )
+                    )
+    finally:
+        _finish_run(bound_strategy, run_info)
     if controller is not None and adaptation_log is not None:
         adaptation_log.extend(controller.trajectory)
     return results, ctx.cluster
@@ -376,6 +405,7 @@ def run_pipelined(
     adaptation_log: Optional[List[AdaptationPoint]] = None,
     checkpoint_store: Optional[CheckpointStore] = None,
     resume_from: Optional[PaneCheckpoint] = None,
+    run_info: Optional[dict] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Operator pipeline: per-item (or chunked) flow, panes at watermarks.
 
@@ -412,179 +442,183 @@ def run_pipelined(
         "value": None,
     }
 
-    if bound_strategy.samples_intervals:
-        if controller is not None:
-            initial = controller.initial_total(int(_per_slide_items(stream, window)))
-        else:
-            initial = _interval_budget(stream, window, config)
-        # §2.3: sub-stream sources are declared at the aggregator; give the
-        # allocator the stratum count so the first interval splits fairly.
-        sampler = bound_strategy.interval_sampler(
-            initial,
-            _strata_hint(stream, query.key_fn) if stream else 1,
-        )
-        op_start = 0.0
-        preload = None
-        feed = stream
-        if resume_from is not None:
-            state = resume_from.state
-            bound_strategy.restore(state["strategy"])
-            restore_interval_sampler(sampler, state["sampler"])
-            if controller is not None and state["controller"] is not None:
-                restore_controller(controller, state["controller"])
-            preload = list(state["recent"])
-            op_start = resume_from.pane_end
-            feed = stream[resume_from.stream_position :]
-
-        def aggregate_samples(merged):
-            estimate, bound, groups, strata = estimate_pane_stats(
-                merged, query, confidence
-            )
+    try:
+        if bound_strategy.samples_intervals:
             if controller is not None:
-                bound_strategy.set_interval_budget(
-                    controller.on_pane(strata, bound, merged.total_count)
-                )
-            recovery = tuple(bound_strategy.drain_recovery_events())
-            value = (
-                estimate, bound, groups, merged.total_items, merged.total_count,
-                recovery,
+                initial = controller.initial_total(int(_per_slide_items(stream, window)))
+            else:
+                initial = _interval_budget(stream, window, config)
+            # §2.3: sub-stream sources are declared at the aggregator; give the
+            # allocator the stratum count so the first interval splits fairly.
+            sampler = bound_strategy.interval_sampler(
+                initial,
+                _strata_hint(stream, query.key_fn) if stream else 1,
             )
-            pane_meta["value"] = value
-            return value
+            op_start = 0.0
+            preload = None
+            feed = stream
+            if resume_from is not None:
+                state = resume_from.state
+                bound_strategy.restore(state["strategy"])
+                restore_interval_sampler(sampler, state["sampler"])
+                if controller is not None and state["controller"] is not None:
+                    restore_controller(controller, state["controller"])
+                preload = list(state["recent"])
+                op_start = resume_from.pane_end
+                feed = stream[resume_from.stream_position :]
 
-        state_hook = None
-        if store is not None:
-
-            def state_hook(ts, recent):
-                if ts > last_ts:
-                    return  # end-of-stream flush pane: dropped below too
-                estimate, bound, groups, kept, total, recovery = pane_meta["value"]
-                pane_meta["index"] += 1
-                pane_meta["emitted"].append(
-                    WindowResult(
-                        end=ts,
-                        estimate=estimate,
-                        exact=None,
-                        error=bound,
-                        groups=groups,
-                        sampled_items=kept,
-                        total_items=total,
-                        recovery=recovery,
-                    )
+            def aggregate_samples(merged):
+                estimate, bound, groups, strata = estimate_pane_stats(
+                    merged, query, confidence
                 )
-                if pane_meta["index"] % every:
-                    return
-                store.save(
-                    PaneCheckpoint(
-                        plan_name=plan.name,
-                        engine=plan.engine,
-                        strategy=plan.strategy,
-                        pane_index=pane_meta["index"],
-                        pane_end=ts,
-                        stream_position=bisect_left(stream, ts, key=timestamp_of),
-                        results=tuple(pane_meta["emitted"]),
-                        state={
-                            "strategy": bound_strategy.state(),
-                            "sampler": interval_sampler_state(sampler),
-                            "controller": (
-                                controller_state(controller)
-                                if controller is not None
-                                else None
-                            ),
-                            "recent": tuple(recent),
-                        },
+                if controller is not None:
+                    bound_strategy.set_interval_budget(
+                        controller.on_pane(strata, bound, merged.total_count)
                     )
+                recovery = tuple(bound_strategy.drain_recovery_events())
+                value = (
+                    estimate, bound, groups, merged.total_items, merged.total_count,
+                    recovery,
                 )
+                pane_meta["value"] = value
+                return value
 
-        raw = (
-            Pipeline(cluster)
-            .sample_oasrs(sampler, slide=window.slide, start=op_start)
-            .charge(count_fn=lambda sample: sample.total_items)
-            .window_samples(
-                intervals_per_window=window.intervals_per_window,
-                aggregate=aggregate_samples,
-                charge_processing=False,
-                preload=preload,
-                state_hook=state_hook,
-            )
-            .sink_collect()
-            .run(feed, chunk_size=config.chunk_size)
-        )
-        records = [
-            (ts, estimate, bound, groups, kept, total, recovery)
-            for ts, (estimate, bound, groups, kept, total, recovery) in raw
-        ]
-    else:
-        op_start = 0.0
-        preload = None
-        feed = stream
-        if resume_from is not None:
-            state = resume_from.state
-            bound_strategy.restore(state["strategy"])
-            preload = list(state["pane_items"])
-            op_start = resume_from.pane_end
-            feed = stream[resume_from.stream_position :]
-
-        def aggregate_exact(pane_items):
-            sample = full_weight_sample([item for _ts, item in pane_items], query.key_fn)
-            estimate, bound, groups = estimate_pane(sample, query, confidence)
+            state_hook = None
             if store is not None:
-                # Sliding-window panes fire at consecutive slide multiples
-                # from the operator's start, so the pane count recovers the
-                # absolute fire time the aggregate callback never sees.
-                pane_meta["index"] += 1
-                end = op_start + (pane_meta["index"] - pane_meta["base"]) * window.slide
-                if end <= last_ts:
+
+                def state_hook(ts, recent):
+                    if ts > last_ts:
+                        return  # end-of-stream flush pane: dropped below too
+                    estimate, bound, groups, kept, total, recovery = pane_meta["value"]
+                    pane_meta["index"] += 1
                     pane_meta["emitted"].append(
                         WindowResult(
-                            end=end,
+                            end=ts,
                             estimate=estimate,
                             exact=None,
                             error=bound,
                             groups=groups,
-                            sampled_items=sample.total_items,
-                            total_items=sample.total_items,
+                            sampled_items=kept,
+                            total_items=total,
+                            recovery=recovery,
                         )
                     )
-                    if pane_meta["index"] % every == 0:
-                        store.save(
-                            PaneCheckpoint(
-                                plan_name=plan.name,
-                                engine=plan.engine,
-                                strategy=plan.strategy,
-                                pane_index=pane_meta["index"],
-                                pane_end=end,
-                                stream_position=bisect_left(
-                                    stream, end, key=timestamp_of
+                    if pane_meta["index"] % every:
+                        return
+                    store.save(
+                        PaneCheckpoint(
+                            plan_name=plan.name,
+                            engine=plan.engine,
+                            strategy=plan.strategy,
+                            pane_index=pane_meta["index"],
+                            pane_end=ts,
+                            stream_position=bisect_left(stream, ts, key=timestamp_of),
+                            results=tuple(pane_meta["emitted"]),
+                            state={
+                                "strategy": bound_strategy.state(),
+                                "sampler": interval_sampler_state(sampler),
+                                "controller": (
+                                    controller_state(controller)
+                                    if controller is not None
+                                    else None
                                 ),
-                                results=tuple(pane_meta["emitted"]),
-                                state={
-                                    "strategy": bound_strategy.state(),
-                                    "pane_items": tuple(pane_items),
-                                },
+                                "recent": tuple(recent),
+                            },
+                        )
+                    )
+
+            raw = (
+                Pipeline(cluster)
+                .sample_oasrs(sampler, slide=window.slide, start=op_start)
+                .charge(count_fn=lambda sample: sample.total_items)
+                .window_samples(
+                    intervals_per_window=window.intervals_per_window,
+                    aggregate=aggregate_samples,
+                    charge_processing=False,
+                    preload=preload,
+                    state_hook=state_hook,
+                )
+                .sink_collect()
+                .run(feed, chunk_size=config.chunk_size)
+            )
+            records = [
+                (ts, estimate, bound, groups, kept, total, recovery)
+                for ts, (estimate, bound, groups, kept, total, recovery) in raw
+            ]
+        else:
+            op_start = 0.0
+            preload = None
+            feed = stream
+            if resume_from is not None:
+                state = resume_from.state
+                bound_strategy.restore(state["strategy"])
+                preload = list(state["pane_items"])
+                op_start = resume_from.pane_end
+                feed = stream[resume_from.stream_position :]
+
+            def aggregate_exact(pane_items):
+                sample = full_weight_sample([item for _ts, item in pane_items], query.key_fn)
+                estimate, bound, groups = estimate_pane(sample, query, confidence)
+                if store is not None:
+                    # Sliding-window panes fire at consecutive slide multiples
+                    # from the operator's start, so the pane count recovers the
+                    # absolute fire time the aggregate callback never sees.
+                    pane_meta["index"] += 1
+                    end = op_start + (pane_meta["index"] - pane_meta["base"]) * window.slide
+                    if end <= last_ts:
+                        pane_meta["emitted"].append(
+                            WindowResult(
+                                end=end,
+                                estimate=estimate,
+                                exact=None,
+                                error=bound,
+                                groups=groups,
+                                sampled_items=sample.total_items,
+                                total_items=sample.total_items,
                             )
                         )
-            return estimate, bound, groups, sample.total_items
+                        if pane_meta["index"] % every == 0:
+                            store.save(
+                                PaneCheckpoint(
+                                    plan_name=plan.name,
+                                    engine=plan.engine,
+                                    strategy=plan.strategy,
+                                    pane_index=pane_meta["index"],
+                                    pane_end=end,
+                                    stream_position=bisect_left(
+                                        stream, end, key=timestamp_of
+                                    ),
+                                    results=tuple(pane_meta["emitted"]),
+                                    state={
+                                        "strategy": bound_strategy.state(),
+                                        "pane_items": tuple(pane_items),
+                                    },
+                                )
+                            )
+                return estimate, bound, groups, sample.total_items
 
-        pane_meta["base"] = pane_meta["index"]
-        raw = (
-            Pipeline(cluster)
-            .charge()  # per-item query processing, charged exactly once
-            .window(
-                length=window.length,
-                slide=window.slide,
-                aggregate=aggregate_exact,
-                start=op_start,
-                charge_processing=False,
-                preload=preload,
+            pane_meta["base"] = pane_meta["index"]
+            raw = (
+                Pipeline(cluster)
+                .charge()  # per-item query processing, charged exactly once
+                .window(
+                    length=window.length,
+                    slide=window.slide,
+                    aggregate=aggregate_exact,
+                    start=op_start,
+                    charge_processing=False,
+                    preload=preload,
+                )
+                .sink_collect()
+                .run(feed, chunk_size=config.chunk_size)
             )
-            .sink_collect()
-            .run(feed, chunk_size=config.chunk_size)
-        )
-        records = [
-            (ts, estimate, bound, groups, n, n, ())
-            for ts, (estimate, bound, groups, n) in raw
-        ]
+            records = [
+                (ts, estimate, bound, groups, n, n, ())
+                for ts, (estimate, bound, groups, n) in raw
+            ]
+
+    finally:
+        _finish_run(bound_strategy, run_info)
 
     # Drop the end-of-stream flush pane (it covers a partial interval beyond
     # the last watermark); the batched engine emits no such pane, so keeping
@@ -676,6 +710,7 @@ def run_direct(
     adaptation_log: Optional[List[AdaptationPoint]] = None,
     checkpoint_store: Optional[CheckpointStore] = None,
     resume_from: Optional[PaneCheckpoint] = None,
+    run_info: Optional[dict] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster, float]:
     """Interval loop over the raw sampling stack; no engine in the hot path.
 
@@ -684,6 +719,12 @@ def run_direct(
     offer/process_chunk/shard section) — the number the chunked and sharded
     fast paths improve, reported by
     `repro.system.native.NativeStreamApproxSystem.timed_execute`.
+
+    Sharded samplers get the stream pinned up front (``pin_source``), so
+    the persistent worker pool forks with the stream already in memory and
+    each interval crosses the process boundary as a ``[lo, hi)`` index
+    span; the pool spawns on the first parallel interval and is drained in
+    the loop's ``finally``.
 
     Checkpoints capture the interval sampler (in-process or sharded), the
     bound strategy, the controller, and the in-window interval history;
@@ -710,9 +751,14 @@ def run_direct(
     sampler = bound_strategy.interval_sampler(
         initial, _strata_hint(stream, query.key_fn)
     )
-    # Sharded samplers expose a whole-interval entry point; use it to skip
-    # the per-item offer buffering (the executor chunks internally).
+    # Sharded samplers expose whole-interval entry points; use them to skip
+    # the per-item offer buffering (the executor chunks internally).  With
+    # the stream pinned before the pool spawns, forked workers inherit it
+    # and an interval is addressed by its index span alone.
     run_interval = getattr(sampler, "run_interval", None)
+    run_span = getattr(sampler, "run_interval_span", None)
+    if run_span is not None:
+        sampler.pin_source(stream)
     store, every = _checkpoint_setup(plan, checkpoint_store)
 
     chunk = config.chunk_size
@@ -740,98 +786,106 @@ def run_direct(
         start_idx = resume_from.stream_position
         boundary = resume_from.pane_end + slide
         pane_index = resume_from.pane_index
-    while start_idx < n:
-        end_idx = bisect_left(stream, boundary, lo=start_idx, key=timestamp_of)
-        items = [item for _ts, item in stream[start_idx:end_idx]]
-        start_idx = end_idx
-        pane_end = boundary
-        boundary += slide
-        cluster.sample_items(len(items), "oasrs")
-        sampling_started = time.perf_counter()
-        if run_interval is not None:
-            sample = run_interval(items)
-        elif chunk > 1 and len(items) > 1:
-            process_chunk = sampler.process_chunk
-            for start in range(0, len(items), chunk):
-                process_chunk(items[start : start + chunk])
-            sample = sampler.close_interval()
-        else:
-            offer = sampler.offer
-            for item in items:
-                offer(item)
-            sample = sampler.close_interval()
-        sampling_seconds += time.perf_counter() - sampling_started
-        cluster.process_items(sample.total_items)
-        if query.group_fn is None:
-            # Moment path: pool per-interval sufficient statistics — no
-            # per-pane re-scan of the sampled items.
-            history.append(_interval_moments(sample, query.value_fn))
-            strata = _pane_stats(history)
-            population = sum(s.c for s in strata)
-            weighted_total = math.fsum(s.total * s.weight for s in strata)
-            if query.kind == "sum":
-                value = weighted_total
+    try:
+        while start_idx < n:
+            end_idx = bisect_left(stream, boundary, lo=start_idx, key=timestamp_of)
+            lo = start_idx
+            start_idx = end_idx
+            pane_end = boundary
+            boundary += slide
+            cluster.sample_items(end_idx - lo, "oasrs")
+            sampling_started = time.perf_counter()
+            if run_span is not None:
+                # Span-addressed sharding: no item materialization here at all;
+                # pooled workers slice their shard from the pinned stream.
+                sample = run_span(lo, end_idx)
+            elif run_interval is not None:
+                sample = run_interval([item for _ts, item in stream[lo:end_idx]])
+            elif chunk > 1 and end_idx - lo > 1:
+                items = [item for _ts, item in stream[lo:end_idx]]
+                process_chunk = sampler.process_chunk
+                for start in range(0, len(items), chunk):
+                    process_chunk(items[start : start + chunk])
+                sample = sampler.close_interval()
             else:
-                value = weighted_total / population if population else 0.0
-            bound = estimate_error(
-                QueryResult(value=value, strata=strata, kind=query.kind),
-                confidence=config.confidence,
-            )
-            groups = {}
-            sampled = sum(s.y for s in strata)
-        else:
-            # Grouped queries need the items themselves: merge samples
-            # and evaluate through the shared estimation path.
-            history.append(sample)
-            merged = combine_worker_samples(list(history))
-            value, bound, groups, strata = estimate_pane_stats(
-                merged, query, config.confidence
-            )
-            population = merged.total_count
-            sampled = merged.total_items
-        if controller is not None:
-            # §4.2 feedback: re-derive the next interval's budget from this
-            # pane's statistics; the shared water-filling policy propagates
-            # it to the in-process and sharded samplers alike.
-            bound_strategy.set_interval_budget(
-                controller.on_pane(strata, bound, population)
-            )
-        recovery = tuple(bound_strategy.drain_recovery_events())
-        results.append(
-            WindowResult(
-                end=pane_end,
-                estimate=value,
-                exact=None,
-                error=bound,
-                groups=groups,
-                sampled_items=sampled,
-                total_items=population,
-                recovery=recovery,
-            )
-        )
-        pane_index += 1
-        if store is not None and pane_index % every == 0:
-            store.save(
-                PaneCheckpoint(
-                    plan_name=plan.name,
-                    engine=plan.engine,
-                    strategy=plan.strategy,
-                    pane_index=pane_index,
-                    pane_end=pane_end,
-                    stream_position=start_idx,
-                    results=tuple(results),
-                    state={
-                        "strategy": bound_strategy.state(),
-                        "sampler": interval_sampler_state(sampler),
-                        "controller": (
-                            controller_state(controller)
-                            if controller is not None
-                            else None
-                        ),
-                        "history": tuple(history),
-                    },
+                offer = sampler.offer
+                for _ts, item in stream[lo:end_idx]:
+                    offer(item)
+                sample = sampler.close_interval()
+            sampling_seconds += time.perf_counter() - sampling_started
+            cluster.process_items(sample.total_items)
+            if query.group_fn is None:
+                # Moment path: pool per-interval sufficient statistics — no
+                # per-pane re-scan of the sampled items.
+                history.append(_interval_moments(sample, query.value_fn))
+                strata = _pane_stats(history)
+                population = sum(s.c for s in strata)
+                weighted_total = math.fsum(s.total * s.weight for s in strata)
+                if query.kind == "sum":
+                    value = weighted_total
+                else:
+                    value = weighted_total / population if population else 0.0
+                bound = estimate_error(
+                    QueryResult(value=value, strata=strata, kind=query.kind),
+                    confidence=config.confidence,
+                )
+                groups = {}
+                sampled = sum(s.y for s in strata)
+            else:
+                # Grouped queries need the items themselves: merge samples
+                # and evaluate through the shared estimation path.
+                history.append(sample)
+                merged = combine_worker_samples(list(history))
+                value, bound, groups, strata = estimate_pane_stats(
+                    merged, query, config.confidence
+                )
+                population = merged.total_count
+                sampled = merged.total_items
+            if controller is not None:
+                # §4.2 feedback: re-derive the next interval's budget from this
+                # pane's statistics; the shared water-filling policy propagates
+                # it to the in-process and sharded samplers alike.
+                bound_strategy.set_interval_budget(
+                    controller.on_pane(strata, bound, population)
+                )
+            recovery = tuple(bound_strategy.drain_recovery_events())
+            results.append(
+                WindowResult(
+                    end=pane_end,
+                    estimate=value,
+                    exact=None,
+                    error=bound,
+                    groups=groups,
+                    sampled_items=sampled,
+                    total_items=population,
+                    recovery=recovery,
                 )
             )
+            pane_index += 1
+            if store is not None and pane_index % every == 0:
+                store.save(
+                    PaneCheckpoint(
+                        plan_name=plan.name,
+                        engine=plan.engine,
+                        strategy=plan.strategy,
+                        pane_index=pane_index,
+                        pane_end=pane_end,
+                        stream_position=start_idx,
+                        results=tuple(results),
+                        state={
+                            "strategy": bound_strategy.state(),
+                            "sampler": interval_sampler_state(sampler),
+                            "controller": (
+                                controller_state(controller)
+                                if controller is not None
+                                else None
+                            ),
+                            "history": tuple(history),
+                        },
+                    )
+                )
+    finally:
+        _finish_run(bound_strategy, run_info)
     if controller is not None and adaptation_log is not None:
         adaptation_log.extend(controller.trajectory)
     return results, cluster, sampling_seconds

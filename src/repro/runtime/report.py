@@ -114,6 +114,11 @@ class SystemReport:
     results: List[WindowResult]
     virtual_seconds: float
     items_total: int
+    #: Why a ``parallelism > 1`` run degraded to in-process sampling
+    #: (``REPRO_NO_MP``, missing fork support, a mid-run pool failure, or
+    #: all-but-one workers dead) — None when no parallelism was requested
+    #: or the persistent worker pool stayed healthy throughout.
+    parallel_fallback: Optional[str] = None
     #: Per-interval budget-adaptation trajectory (empty for fixed-fraction
     #: runs): one `repro.runtime.control.AdaptationPoint` per pane, showing
     #: the measured margin and the sample budget chosen for the next

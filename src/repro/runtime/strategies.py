@@ -37,7 +37,7 @@ that names them — no new run loop required.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Sequence, Type
+from typing import Callable, Dict, List, Optional, Sequence, Type
 
 from ..core.distributed import ShardedExecutor, ShardedIntervalSampler
 from ..core.oasrs import OASRSSampler, WaterFillingAllocation
@@ -194,6 +194,23 @@ class BoundStrategy:
         empty list so drivers can call this unconditionally.
         """
         return []
+
+    def close(self) -> None:
+        """Release per-run resources (worker pools); idempotent.
+
+        Drivers call this when the run reports, so sharded strategies can
+        drain their persistent worker pools; strategies without external
+        resources inherit this no-op.
+        """
+
+    def parallel_fallback(self) -> Optional[str]:
+        """Why parallel execution degraded to in-process, or None.
+
+        Surfaced as ``SystemReport.parallel_fallback`` so "N workers
+        requested, 1 used" is visible instead of silently swallowed.
+        Strategies that never shard return None.
+        """
+        return None
 
 
 @register_strategy
@@ -419,6 +436,19 @@ class _BoundOASRS(BoundStrategy):
             events.extend(drain())
         return events
 
+    def close(self) -> None:
+        """Drain the persistent worker pools (batched and interval roles)."""
+        if self._executor is not None:
+            self._executor.close()
+        close = getattr(self._interval_sampler, "close", None)
+        if close is not None:
+            close()
+
+    def parallel_fallback(self) -> Optional[str]:
+        if self._executor is not None and self._executor.fallback_reason:
+            return self._executor.fallback_reason
+        return getattr(self._interval_sampler, "fallback_reason", None)
+
     # -- batched role -----------------------------------------------------------
 
     def _ensure_batch_sampler(self, batch_size: int, strata_hint: int) -> None:
@@ -494,8 +524,10 @@ class _BoundOASRS(BoundStrategy):
     def set_interval_budget(self, total: int) -> None:
         """Re-target the per-interval water-filling budget (§4.2 feedback).
 
-        Mutates the *shared* policy, so it reaches the sharded path too:
-        `ShardedExecutor` workers re-read the policy at every fork.  The
+        Mutates the *coordinator's* policy, which reaches the sharded path
+        too: the persistent pool's workers receive the policy's attribute
+        snapshot inside every interval message, so a budget re-target is
+        just part of the next message — no shared state, no respawn.  The
         in-process sampler additionally rebalances its (empty, start-of-
         interval) reservoirs so the new capacities apply immediately.
         """

@@ -95,6 +95,9 @@ class StreamSystem:
         self.checkpoints: Optional[CheckpointStore] = None
         #: Checkpoint the in-flight ``run`` is resuming from, if any.
         self._resume_from: Optional[PaneCheckpoint] = None
+        #: Diagnostics the driver reports back outside the result tuple
+        #: (currently the parallel-fallback reason); reset per run.
+        self._run_info: dict = {}
 
     def plan(self, source: Optional[PlanSource] = None) -> ExecutionPlan:
         """Build this system's validated `ExecutionPlan` for one run."""
@@ -131,6 +134,7 @@ class StreamSystem:
             CheckpointStore() if self.config.checkpoint is not None else None
         )
         self._resume_from = resume_from
+        self._run_info = {}
         try:
             results, cluster = self._execute(events)
         finally:
@@ -140,6 +144,7 @@ class StreamSystem:
             results=join_ground_truth(results, truth),
             virtual_seconds=cluster.elapsed(),
             items_total=len(events),
+            parallel_fallback=self._run_info.get("parallel_fallback"),
             adaptation=list(self.adaptation),
         )
 
@@ -150,4 +155,5 @@ class StreamSystem:
             adaptation_log=self.adaptation,
             checkpoint_store=self.checkpoints,
             resume_from=self._resume_from,
+            run_info=self._run_info,
         )

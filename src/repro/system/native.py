@@ -111,6 +111,7 @@ class NativeStreamApproxSystem(StreamSystem):
             adaptation_log=self.adaptation,
             checkpoint_store=getattr(self, "checkpoints", None),
             resume_from=getattr(self, "_resume_from", None),
+            run_info=getattr(self, "_run_info", None),
         )
         self.last_sampling_seconds = sampling_seconds
         return results, cluster

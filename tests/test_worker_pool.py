@@ -1,0 +1,347 @@
+"""Persistent worker pool: lifecycle, transports, and degraded paths.
+
+`repro.core.distributed.ShardedExecutor` keeps one process per shard
+alive for the whole run and moves chunk payloads over shared memory.
+These tests pin the contracts the rest of the runtime builds on:
+
+* **Bitwise determinism across execution modes** — a pooled run, the
+  ``REPRO_NO_MP`` in-process fallback, and every transport tier (flat
+  pickle, shared-memory chunk codec, pinned index span) produce the
+  exact same merged samples, because shard samplers are rebuilt from
+  coordinator-drawn seeds every interval.
+* **Pool lifecycle** — workers spawn once (lazily, on the first parallel
+  interval), survive across intervals without respawning, die on
+  ``close``, and a permanent `ShardKill` terminates the real process
+  while the pool re-widens over the survivors.
+* **Degraded paths** — fallbacks are never silent: the first cause is
+  recorded on the executor and surfaced as ``SystemReport.parallel_fallback``.
+* **Checkpoint/resume** — `restore` tears the pool down and a resumed
+  ``execute_plan`` matches the uninterrupted run bitwise.
+"""
+
+import random
+
+import pytest
+
+from repro.core.distributed import ShardedExecutor, ShardedIntervalSampler
+from repro.core.oasrs import FixedPerStratum, WaterFillingAllocation
+from repro.core.recovery import FaultSchedule, ShardKill
+from repro.runtime import (
+    CheckpointPolicy,
+    CheckpointStore,
+    ListSource,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+    build_plan,
+    execute_plan,
+)
+from repro.system.native import NativeStreamApproxSystem
+from repro.workloads.synthetic import stream_by_rates
+
+KEY = lambda item: item[0]  # noqa: E731
+
+
+def fingerprint(sample):
+    """Exact identity of a merged WeightedSample, order-independent."""
+    return tuple(sorted((s.key, s.items, s.count, s.weight) for s in sample))
+
+
+def make_intervals(n_intervals=5, n_items=3000, seed=7):
+    rng = random.Random(seed)
+    return [
+        [(rng.choice("abcd"), float(rng.randrange(100))) for _ in range(n_items)]
+        for _ in range(n_intervals)
+    ]
+
+
+def make_executor(**kwargs):
+    kwargs.setdefault("workers", 4)
+    kwargs.setdefault("policy", WaterFillingAllocation(total=200))
+    kwargs.setdefault("key_fn", KEY)
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("chunk_size", 256)
+    return ShardedExecutor(**kwargs)
+
+
+@pytest.fixture
+def intervals():
+    return make_intervals()
+
+
+class TestBitwiseAcrossModes:
+    """Pooled, fallback, and all three transports: one identical answer."""
+
+    def reference_fingerprints(self, monkeypatch, intervals):
+        monkeypatch.setenv("REPRO_NO_MP", "1")
+        ex = make_executor()
+        fps = [fingerprint(ex.run(items)) for items in intervals]
+        assert not ex.last_run_parallel
+        ex.close()
+        monkeypatch.delenv("REPRO_NO_MP")
+        return fps
+
+    def test_pooled_flat_matches_in_process(self, monkeypatch, intervals):
+        expected = self.reference_fingerprints(monkeypatch, intervals)
+        ex = make_executor()
+        try:
+            got = [fingerprint(ex.run(items)) for items in intervals]
+            assert ex.last_run_parallel
+            assert ex.fallback_reason is None
+        finally:
+            ex.close()
+        assert got == expected
+
+    def test_pooled_chunked_matches_in_process(self, monkeypatch, intervals):
+        expected = self.reference_fingerprints(monkeypatch, intervals)
+        ex = make_executor()
+        try:
+            got = []
+            for items in intervals:
+                chunks = [items[i : i + 512] for i in range(0, len(items), 512)]
+                got.append(fingerprint(ex.run_chunks(chunks)))
+            assert ex.last_run_parallel
+        finally:
+            ex.close()
+        assert got == expected
+
+    def test_pooled_span_matches_in_process(self, monkeypatch, intervals):
+        expected = self.reference_fingerprints(monkeypatch, intervals)
+        events, spans = [], []
+        for items in intervals:
+            lo = len(events)
+            events.extend((float(len(events) + i), item) for i, item in enumerate(items))
+            spans.append((lo, len(events)))
+        ex = make_executor()
+        ex.pin_source(events)
+        try:
+            got = [fingerprint(ex.run_span(lo, hi)) for lo, hi in spans]
+            assert ex.last_run_parallel
+        finally:
+            ex.close()
+        assert got == expected
+
+    def test_non_codec_items_match_in_process(self, monkeypatch):
+        """Int-valued records miss the shm codec; the pickle tier agrees."""
+        rng = random.Random(3)
+        intervals = [
+            [(rng.choice("xyz"), rng.randrange(50)) for _ in range(1500)]
+            for _ in range(3)
+        ]
+        expected = self.reference_fingerprints(monkeypatch, intervals)
+        ex = make_executor()
+        try:
+            got = [fingerprint(ex.run(items)) for items in intervals]
+            assert ex.last_run_parallel
+        finally:
+            ex.close()
+        assert got == expected
+
+
+class TestPoolLifecycle:
+    def test_pool_spawns_lazily_and_once(self, intervals):
+        ex = make_executor()
+        try:
+            assert not ex.pooled  # construction spawns nothing
+            pids = []
+            for items in intervals:
+                ex.run(items)
+                assert ex.pooled
+                pids.append(tuple(sorted(w.process.pid for w in ex._pool.values())))
+            assert len(set(pids)) == 1, f"pool respawned mid-run: {set(pids)}"
+            assert len(pids[0]) == 4
+        finally:
+            ex.close()
+
+    def test_close_terminates_workers(self, intervals):
+        ex = make_executor()
+        ex.run(intervals[0])
+        processes = [w.process for w in ex._pool.values()]
+        ex.close()
+        assert not ex.pooled
+        for process in processes:
+            assert not process.is_alive()
+        ex.close()  # idempotent
+
+    def test_close_without_spawn_is_noop(self):
+        ex = make_executor()
+        ex.close()
+        assert not ex.pooled
+
+    def test_permanent_kill_terminates_live_worker(self, intervals):
+        faults = FaultSchedule(
+            kills=(ShardKill(interval=1, worker=2, permanent=True),)
+        )
+        ex = make_executor(faults=faults)
+        try:
+            ex.run(intervals[0])
+            before = {w: worker.process.pid for w, worker in ex._pool.items()}
+            assert sorted(before) == [0, 1, 2, 3]
+            doomed = ex._pool[2].process
+            ex.run(intervals[1])  # the kill interval
+            assert ex.live_workers == [0, 1, 3]
+            assert sorted(ex._pool) == [0, 1, 3]
+            doomed.join(timeout=5.0)
+            assert not doomed.is_alive()
+            # Survivors keep their processes — the pool re-widens, it does
+            # not respawn.
+            after = {w: worker.process.pid for w, worker in ex._pool.items()}
+            assert after == {w: before[w] for w in (0, 1, 3)}
+            ex.run(intervals[2])
+            assert ex.last_run_parallel
+        finally:
+            ex.close()
+
+    def test_restore_tears_pool_down(self, intervals):
+        ex = make_executor()
+        ex.run(intervals[0])
+        snapshot = ex.state()
+        assert ex.pooled
+        ex.restore(snapshot)
+        assert not ex.pooled
+        try:
+            assert fingerprint(ex.run(intervals[1])) == fingerprint(
+                make_and_run(snapshot, intervals[1])
+            )
+        finally:
+            ex.close()
+
+
+def make_and_run(snapshot, items):
+    """Fresh executor restored from `snapshot`, run over one interval."""
+    ex = make_executor()
+    ex.restore(snapshot)
+    try:
+        return ex.run(items)
+    finally:
+        ex.close()
+
+
+class TestFallbackSurfacing:
+    def test_no_mp_records_reason(self, monkeypatch, intervals):
+        monkeypatch.setenv("REPRO_NO_MP", "1")
+        ex = make_executor()
+        ex.run(intervals[0])
+        assert not ex.last_run_parallel
+        assert "REPRO_NO_MP" in ex.fallback_reason
+        ex.close()
+
+    def test_first_reason_wins(self, monkeypatch, intervals):
+        ex = make_executor()
+        ex._note_fallback("first cause")
+        ex._note_fallback("second cause")
+        assert ex.fallback_reason == "first cause"
+        ex.close()
+
+    def test_single_worker_never_pools(self, intervals):
+        ex = make_executor(workers=1)
+        ex.run(intervals[0])
+        assert not ex.last_run_parallel
+        assert not ex.pooled
+        ex.close()
+
+    def test_report_surfaces_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_MP", "1")
+        report = run_parallel_system()
+        assert report.parallel_fallback is not None
+        assert "REPRO_NO_MP" in report.parallel_fallback
+
+    def test_report_silent_when_pool_healthy(self):
+        report = run_parallel_system()
+        assert report.parallel_fallback is None
+
+    def test_report_none_without_parallelism(self):
+        report = run_parallel_system(parallelism=1)
+        assert report.parallel_fallback is None
+
+
+def run_parallel_system(parallelism=4):
+    query = StreamQuery(key_fn=KEY, value_fn=lambda it: it[1], kind="mean")
+    config = SystemConfig(sampling_fraction=0.5, seed=17, parallelism=parallelism)
+    stream = stream_by_rates({"A": 300, "B": 60}, duration=10, seed=5)
+    return NativeStreamApproxSystem(query, WindowConfig(5, 2.5), config).run(stream)
+
+
+class TestResumeAcrossPool:
+    """`execute_plan(resume_from=...)` re-spawns the pool and matches bitwise."""
+
+    def plan(self, stream, **overrides):
+        config = SystemConfig(
+            sampling_fraction=0.5, seed=17, parallelism=4, **overrides
+        )
+        return build_plan(
+            StreamQuery(key_fn=KEY, value_fn=lambda it: it[1], kind="mean"),
+            WindowConfig(length=5.0, slide=2.5),
+            config,
+            engine="direct",
+            strategy="oasrs",
+            source=ListSource(stream),
+            name="pool-resume",
+        )
+
+    @staticmethod
+    def pane_fingerprint(results):
+        return [
+            (r.end, r.estimate, r.sampled_items,
+             r.error.margin if r.error is not None else None)
+            for r in results
+        ]
+
+    def test_resume_matches_uninterrupted_pooled_run(self):
+        stream = stream_by_rates({"A": 300, "B": 60, "C": 10}, duration=15, seed=11)
+        base, _ = execute_plan(self.plan(stream))
+        store = CheckpointStore()
+        execute_plan(
+            self.plan(stream, checkpoint=CheckpointPolicy(every=1)),
+            checkpoint_store=store,
+        )
+        assert len(store) >= 2, "workload too short to exercise resume"
+        for index in store.indices():
+            resumed, _ = execute_plan(
+                self.plan(stream, checkpoint=CheckpointPolicy(every=1)),
+                resume_from=store.get(index),
+            )
+            assert self.pane_fingerprint(resumed) == self.pane_fingerprint(base), (
+                f"resume from checkpoint {index} diverged"
+            )
+
+
+class TestIntervalSamplerBuffering:
+    def test_process_chunk_keeps_chunk_intact(self):
+        ex = make_executor(workers=2, policy=FixedPerStratum(4))
+        sampler = ShardedIntervalSampler(ex)
+        chunk = [("a", float(i)) for i in range(64)]
+        sampler.process_chunk(chunk)
+        assert sampler._chunks[-1] is chunk  # stored by reference, not re-buffered
+        sampler.close()
+
+    def test_mixed_offer_and_chunks_cover_all_items(self):
+        ex = make_executor(workers=2, policy=FixedPerStratum(4), seed=1)
+        sampler = ShardedIntervalSampler(ex)
+        sampler.offer(("a", 1.0))
+        sampler.process_chunk([("a", float(i)) for i in range(50)])
+        sampler.offer_many([("b", float(i)) for i in range(10)])
+        merged = sampler.close_interval()
+        assert merged["a"].count == 51
+        assert merged["b"].count == 10
+        # The buffer drains: a second close sees an empty interval.
+        assert len(sampler.close_interval()) == 0
+        sampler.close()
+
+    def test_state_flattens_buffer_and_restores(self):
+        ex = make_executor(workers=2, policy=FixedPerStratum(4), seed=1)
+        sampler = ShardedIntervalSampler(ex)
+        sampler.process_chunk([("a", float(i)) for i in range(20)])
+        sampler.process_chunk([("b", float(i)) for i in range(5)])
+        snapshot = sampler.state()
+        assert snapshot["buffer"] == (
+            [("a", float(i)) for i in range(20)] + [("b", float(i)) for i in range(5)]
+        )
+        ex2 = make_executor(workers=2, policy=FixedPerStratum(4), seed=99)
+        restored = ShardedIntervalSampler(ex2)
+        restored.restore(snapshot)
+        a = sampler.close_interval()
+        b = restored.close_interval()
+        assert fingerprint(a) == fingerprint(b)
+        sampler.close()
+        restored.close()
