@@ -5,10 +5,12 @@
 #   make bench      — only the figure-reproduction benchmarks
 #   make bench-json — benchmarks with machine-readable results for
 #                     trajectory tracking (benchmarks/results/bench.json,
-#                     plus per-figure artifacts such as
-#                     benchmarks/results/BENCH_fig6a.json);
+#                     plus per-figure artifacts BENCH_fig4a.json and
+#                     BENCH_fig6a.json under benchmarks/results/);
 #                     includes the budget-loop convergence gate
-#                     (REPRO_ADAPT_MAX_INTERVALS tunes its deadline)
+#                     (REPRO_ADAPT_MAX_INTERVALS tunes its deadline),
+#                     the columnar-vs-shim wall-clock gate
+#                     (REPRO_FIG4A_MIN_COLUMNAR_SPEEDUP, default 1.0)
 #                     and, when REPRO_FIG6A_MIN_SHARD_SPEEDUP is set, the
 #                     multi-core shard-scaling gate
 #   make chaos      — fault-tolerance chaos suite (crash/resume + shard

@@ -20,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.records import item_key, item_value
 from repro.metrics.collector import ExperimentCollector
 from repro.system import StreamQuery, SystemConfig, WindowConfig
 from repro.workloads.netflow import flow_bytes, flow_protocol, netflow_stream
@@ -37,8 +38,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 # curves at the cost of wall time; default 1 keeps the full suite ≈ minutes.
 SCALE = float(os.environ.get("REPRO_SCALE", "1"))
 
-KEY = lambda item: item[0]  # noqa: E731
-VAL = lambda item: item[1]  # noqa: E731
+# Canonical projections — identity-matched by the runtime to enable the
+# columnar fast path on microbenchmark streams.
+KEY = item_key
+VAL = item_value
 
 # The §5.1 microbenchmark query: window mean over the synthetic values.
 MICRO_QUERY = StreamQuery(key_fn=KEY, value_fn=VAL, kind="mean", name="micro-mean")

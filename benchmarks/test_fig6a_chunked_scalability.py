@@ -69,6 +69,12 @@ def _throughput(stream, chunk_size=0, parallelism=1):
         assert fallback is None, (
             f"parallelism={parallelism} silently degraded: {fallback}"
         )
+        # The microbenchmark stream is a RecordBatch with the canonical
+        # projections — the columnar path must actually engage, not shim.
+        assert system._run_info.get("columnar_fallback") is None, (
+            f"columnar path silently degraded: "
+            f"{system._run_info.get('columnar_fallback')}"
+        )
         best_total = max(best_total, len(stream) / wall)
         best_sampling = max(best_sampling, len(stream) / system.last_sampling_seconds)
     return best_total, best_sampling
@@ -112,6 +118,13 @@ def test_fig6a_chunked(benchmark, micro_stream):
     # ...and large chunks beat the item-at-a-time sampling path >= MIN_SPEEDUP.
     for chunk in (1024, 4096):
         assert rows[f"chunk={chunk}"][1] >= MIN_SPEEDUP * base_sampling
+    # Growing the chunk from 1024 to 4096 must not fall off a cache cliff:
+    # L2-sized sub-slicing keeps the working set bounded, so throughput is
+    # monotone-or-flat (10% tolerance for scheduler noise).
+    assert rows["chunk=4096"][0] >= 0.9 * rows["chunk=1024"][0], (
+        f"chunk=4096 ({rows['chunk=4096'][0]:,.0f} it/s) regressed below "
+        f"chunk=1024 ({rows['chunk=1024'][0]:,.0f} it/s): cache spill"
+    )
     # With enough cores (gate armed by env), the persistent pool turns
     # parallelism into real end-to-end throughput: shard=4 beats the best
     # single-process chunked row.

@@ -60,6 +60,7 @@ from typing import (
 
 from ._vector import np as _np
 from .oasrs import AllocationPolicy, FixedPerStratum, KeyFn, OASRSSampler
+from .records import ColumnSlice, item_key
 from .recovery import FaultSchedule, RecoveryEvent, restore_attrs, snapshot_attrs
 from .strata import StratumSample, WeightedSample, combine_worker_samples, stratum_weight
 
@@ -119,15 +120,47 @@ class _ChunkCodec:
     the codec, only throughput does.
     """
 
-    __slots__ = ("key_list", "key_code")
+    __slots__ = ("key_list", "key_code", "_translations")
 
     def __init__(self) -> None:
         self.key_list: List[object] = []
         self.key_code: dict = {}
+        #: Per-key-table translation arrays (batch code -> codec code),
+        #: keyed by table identity with the table itself kept referenced.
+        self._translations: dict = {}
+
+    def _translate(self, key_table: List[object]):
+        """Batch-code → codec-code translation array for one key table.
+
+        A `repro.core.records.RecordBatch` interned its keys already; a
+        column chunk therefore re-encodes as one fancy-indexed gather
+        instead of a per-item hash loop.  Tables only grow, so a cached
+        translation is refreshed when the table has new entries.
+        """
+        entry = self._translations.get(id(key_table))
+        if entry is not None and len(entry[1]) >= len(key_table):
+            return entry[1]
+        key_code, key_list = self.key_code, self.key_list
+        trans = _np.empty(len(key_table), dtype=_np.int32)
+        for batch_code, key in enumerate(key_table):
+            code = key_code.get(key)
+            if code is None:
+                code = len(key_list)
+                key_code[key] = code
+                key_list.append(key)
+            trans[batch_code] = code
+        self._translations[id(key_table)] = (key_table, trans)
+        return trans
 
     def encode(self, chunks: Sequence[Sequence[T]], total: int):
         """Return ``(codes, values)`` arrays over the concatenated chunks,
-        or None when any record does not fit the codec."""
+        or None when any record does not fit the codec.
+
+        Column chunks (`repro.core.records.ColumnSlice`) hand their arrays
+        over without touching a single item: the chunk's interned codes are
+        gathered through the cached table translation and its value column
+        is copied wholesale — zero-conversion transport.
+        """
         if _np is None:
             return None
         codes = _np.empty(total, dtype=_np.int32)
@@ -137,6 +170,13 @@ class _ChunkCodec:
         for chunk in chunks:
             n = len(chunk)
             if n == 0:
+                continue
+            chunk_codes = getattr(chunk, "codes", None)
+            if chunk_codes is not None:
+                trans = self._translate(chunk.key_table)
+                codes[pos : pos + n] = trans[chunk_codes]
+                values[pos : pos + n] = chunk.values
+                pos += n
                 continue
             for item in chunk:
                 if (
@@ -225,6 +265,12 @@ def _pool_worker_main(conn, policy, key_fn, chunk_size, source) -> None:
     key_list: List[object] = []
     shm: Optional[shared_memory.SharedMemory] = None
     shm_name: Optional[str] = None
+    # With the canonical key projection the shard sampler consumes column
+    # views directly (its columnar kernel is bitwise-identical to per-item
+    # grouping), so shm arrays and pinned column batches are never expanded
+    # into per-item tuples.  Safe because the worker finishes its interval
+    # before the coordinator rewrites the channel.
+    columnar_ok = _np is not None and key_fn is item_key
     try:
         while True:
             try:
@@ -240,7 +286,11 @@ def _pool_worker_main(conn, policy, key_fn, chunk_size, source) -> None:
             kind = transport[0]
             if kind == "span":
                 _k, lo, hi, slot = transport
-                shard = [item for _ts, item in source[lo:hi][slot::n_live]]
+                if columnar_ok and getattr(source, "has_columns", False):
+                    # Strided zero-copy view over the fork-inherited columns.
+                    shard = source.item_slice(lo, hi)[slot::n_live]
+                else:
+                    shard = [item for _ts, item in source[lo:hi][slot::n_live]]
             elif kind == "shm":
                 _k, name, n = transport
                 if name != shm_name:
@@ -253,7 +303,10 @@ def _pool_worker_main(conn, policy, key_fn, chunk_size, source) -> None:
                 values = _np.ndarray(
                     n, dtype=_np.float64, buffer=shm.buf, offset=offset
                 )
-                shard = _ChunkCodec.decode(key_list, codes, values)
+                if columnar_ok:
+                    shard = ColumnSlice(codes, values, key_list)
+                else:
+                    shard = _ChunkCodec.decode(key_list, codes, values)
             else:  # "items": pickled shard (fault reroutes, exotic records)
                 shard = transport[1]
             conn.send(_run_shard(shard, policy, key_fn, n_live, seed, chunk_size))
@@ -611,7 +664,7 @@ class ShardedExecutor(Generic[T]):
         reservoirs concatenate, weights re-derive) — there is no barrier or
         shuffle during the interval itself.
         """
-        if not isinstance(items, (list, tuple)):
+        if not hasattr(items, "__len__"):
             items = list(items)
         return self._run_interval(flat=items)
 
@@ -623,7 +676,7 @@ class ShardedExecutor(Generic[T]):
         (fault reroutes, non-codec records, in-process fallback) pay the
         concatenation.
         """
-        if not isinstance(chunks, (list, tuple)):
+        if not hasattr(chunks, "__len__"):
             chunks = list(chunks)
         return self._run_interval(chunks=chunks)
 

@@ -44,12 +44,20 @@ from typing import (
     TypeVar,
 )
 
+from ._vector import np as _np
+from .records import L2_SLICE as _L2_SLICE
+from .records import ColumnSlice, _FloatRun, _StratumMembers, item_key
 from .reservoir import Reservoir
 from .strata import StratumSample, WeightedSample, stratum_weight
 
 T = TypeVar("T")
 Key = Hashable
 KeyFn = Callable[[T], Key]
+
+# Columnar chunks at or below this size are grouped with a Python loop over
+# the decoded scalars; np.unique + boolean-mask gathers only pay off once a
+# chunk is a few cache lines of codes.
+_SMALL_CHUNK = 128
 
 __all__ = [
     "AllocationPolicy",
@@ -259,6 +267,10 @@ class OASRSSampler(Generic[T]):
         self._rng = rng if rng is not None else random.Random()
         self._reservoirs: Dict[Key, Reservoir[T]] = {}
         self._known_keys: set = set()
+        # Keys whose current reservoir holds raw float values (fed through
+        # the columnar kernel) rather than item tuples; `peek` re-attaches
+        # the key lazily.  Cleared whenever reservoirs are recreated.
+        self._value_keys: set = set()
 
     @property
     def strata_seen(self) -> int:
@@ -274,6 +286,12 @@ class OASRSSampler(Generic[T]):
             capacity = self._policy.capacity_for(key, len(self._known_keys))
             reservoir = Reservoir(capacity, rng=self._rng)
             self._reservoirs[key] = reservoir
+        elif self._value_keys and key in self._value_keys:
+            # Defensive: the runtime never mixes per-item and columnar
+            # feeds within an interval, but if it happens, materialize the
+            # stored floats into tuples before accepting a tuple.
+            reservoir._items[:] = [(key, v) for v in reservoir._items]
+            self._value_keys.discard(key)
         reservoir.offer(item)
         return key
 
@@ -296,14 +314,55 @@ class OASRSSampler(Generic[T]):
         within a stratum is preserved), and bit-for-bit identical for
         one-item chunks.  Returns the number of items that entered a
         reservoir.
+
+        A `repro.core.records.ColumnSlice` chunk (with the canonical
+        ``item_key`` stratifier) takes the columnar route: grouping happens
+        on the interned key codes with NumPy — no per-item Python loop at
+        all — and reservoirs receive lazy per-stratum views.  Group order
+        (first appearance in the chunk) and per-group member order match
+        the dict-grouping path exactly, so the RNG draw sequence — and
+        therefore the sample — is bitwise identical.  Chunks larger than
+        `repro.core.records.L2_SLICE` are processed slice by slice to keep
+        the working set cache-sized.
         """
-        if not isinstance(items, (list, tuple)):
+        if not hasattr(items, "__len__"):
             items = list(items)
-        if not items:
+        n = len(items)
+        if n == 0:
             return 0
-        if len(items) == 1:
+        if n > _L2_SLICE:
+            accepted = 0
+            for start in range(0, n, _L2_SLICE):
+                accepted += self.process_chunk(items[start : start + _L2_SLICE])
+            return accepted
+        columnar = (
+            _np is not None
+            and isinstance(items, ColumnSlice)
+            and self._key_fn is item_key
+        )
+        if n == 1:
+            if columnar:
+                # Keep one-item column chunks on the value-mode route so a
+                # reservoir never sees mixed float/tuple contents.
+                key = items.key_table[items.codes[0]]
+                reservoir = self._reservoirs.get(key)
+                if reservoir is None:
+                    self._known_keys.add(key)
+                    capacity = self._policy.capacity_for(key, len(self._known_keys))
+                    reservoir = Reservoir(capacity, rng=self._rng)
+                    self._reservoirs[key] = reservoir
+                    self._value_keys.add(key)
+                elif key not in self._value_keys:
+                    if reservoir.seen:
+                        self.offer(items[0])
+                        return 1
+                    self._value_keys.add(key)
+                reservoir.offer(items.values.item(0))
+                return 1
             self.offer(items[0])
             return 1
+        if columnar:
+            return self._process_columns(items)
         key_fn = self._key_fn
         groups: Dict[Key, List[T]] = {}
         get_group = groups.get
@@ -325,14 +384,93 @@ class OASRSSampler(Generic[T]):
             accepted += reservoir.offer_many(members)
         return accepted
 
+    def _process_columns(self, chunk: ColumnSlice) -> int:
+        """Columnar chunk routing: group by interned key codes, no item loop.
+
+        Strata are visited in order of first appearance within the chunk —
+        the same order dict grouping produces — and each stratum's members
+        keep their stream order, so every reservoir sees exactly the input
+        (and consumes exactly the RNG draws) of the per-item grouping path.
+        """
+        codes = chunk.codes
+        values = chunk.values
+        table = chunk.key_table
+        if codes.shape[0] <= _SMALL_CHUNK:
+            # np.unique + mask gathers do not amortize over tiny chunks; a
+            # Python grouping loop over the (already decoded) scalars is
+            # faster and produces the same groups in the same order.
+            grouped: Dict[int, list] = {}
+            get_group = grouped.get
+            vals = values.tolist()
+            pos = 0
+            for code in codes.tolist():
+                bucket = get_group(code)
+                if bucket is None:
+                    grouped[code] = bucket = []
+                bucket.append(vals[pos])
+                pos += 1
+            runs = ((table[code], members) for code, members in grouped.items())
+        else:
+            uniq, first = _np.unique(codes, return_index=True)
+            if uniq.size == 1:
+                order = (0,)
+            else:
+                order = _np.argsort(first, kind="stable").tolist()
+            runs = (
+                (
+                    table[uniq[gi]],
+                    _FloatRun(values if uniq.size == 1 else values[codes == uniq[gi]]),
+                )
+                for gi in order
+            )
+        reservoirs = self._reservoirs
+        value_keys = self._value_keys
+        accepted = 0
+        for key, members in runs:
+            reservoir = reservoirs.get(key)
+            if reservoir is None:
+                self._known_keys.add(key)
+                capacity = self._policy.capacity_for(key, len(self._known_keys))
+                reservoir = Reservoir(capacity, rng=self._rng)
+                reservoirs[key] = reservoir
+                value_keys.add(key)
+                value_mode = True
+            elif key in value_keys:
+                value_mode = True
+            elif reservoir.seen == 0:
+                value_keys.add(key)
+                value_mode = True
+            else:
+                # The reservoir already holds item tuples from a per-item
+                # feed; keep feeding tuples so contents stay homogeneous.
+                value_mode = False
+            if value_mode:
+                # Value mode: the reservoir stores raw floats — no tuple is
+                # built for items that merely pass through.  `peek`
+                # re-attaches the stratum key lazily via _StratumMembers.
+                accepted += reservoir.offer_many(members)
+            else:
+                accepted += reservoir.offer_many(
+                    [(key, v) for v in members]
+                    if type(members) is list
+                    else _StratumMembers(key, members.values)
+                )
+        return accepted
+
     def peek(self) -> WeightedSample[T]:
         """Current interval's weighted sample *without* resetting state."""
         sample: WeightedSample[T] = WeightedSample()
+        value_keys = self._value_keys
         for key, reservoir in self._reservoirs.items():
-            kept = tuple(reservoir.items)
             count = reservoir.seen
             if count == 0:
                 continue
+            if key in value_keys:
+                # Value-mode reservoir: stored floats become (key, value)
+                # tuples only if a consumer actually indexes the members.
+                kept = _StratumMembers(key, reservoir.items)
+            else:
+                kept = tuple(reservoir.items)
             weight = stratum_weight(count, len(kept))
             sample.add(StratumSample(key, kept, count, weight))
         return sample
@@ -348,10 +486,22 @@ class OASRSSampler(Generic[T]):
         if isinstance(self._policy, (ProportionalAllocation, WaterFillingAllocation)):
             self._policy.observe({s.key: s.count for s in sample})
         capacities = self._policy.rebalance(self._known_keys)
+        # Rebuild next interval's reservoirs in first-arrival order (the
+        # expiring dict's insertion order), not set-iteration order: stratum
+        # order feeds order-sensitive float accumulation in the error
+        # bounds, so it must be identical across hash seeds and across a
+        # checkpoint resume (which rebuilds ``_known_keys`` from a sorted
+        # snapshot and would otherwise iterate differently).
+        ordered = [key for key in self._reservoirs if key in capacities]
+        if len(ordered) < len(capacities):
+            known = self._reservoirs
+            ordered += sorted(
+                (key for key in capacities if key not in known), key=repr
+            )
         self._reservoirs = {
-            key: Reservoir(capacity, rng=self._rng)
-            for key, capacity in capacities.items()
+            key: Reservoir(capacities[key], rng=self._rng) for key in ordered
         }
+        self._value_keys.clear()
         return sample
 
     def set_policy(self, policy: AllocationPolicy) -> None:
@@ -373,6 +523,7 @@ class OASRSSampler(Generic[T]):
             reservoir = self._reservoirs.get(key)
             if reservoir is None or reservoir.seen == 0:
                 self._reservoirs[key] = Reservoir(capacity, rng=self._rng)
+                self._value_keys.discard(key)
 
 
 def oasrs_sample(

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Hashable, List, Optional, TypeVar
 
 from ._vector import np as _np
+from .records import item_value as _item_value
 from .strata import StratumSample, WeightedSample
 
 # Strata smaller than this keep the exact fsum path: identical rounding for
@@ -73,7 +74,10 @@ class StratumStats:
             # Vectorized path for large strata: one pass of the (Python)
             # value function into a NumPy buffer, then C-speed moments.
             items = stratum.items
-            if value_fn is None:
+            raw = getattr(items, "value_list", None)
+            if raw is not None and (value_fn is None or value_fn is _item_value):
+                array = _np.asarray(raw(), dtype=_np.float64)
+            elif value_fn is None:
                 array = _np.asarray(items, dtype=_np.float64)
             else:
                 array = _np.asarray([value_fn(x) for x in items], dtype=_np.float64)

@@ -1,0 +1,429 @@
+"""Columnar record batches — the native record format of the pipeline.
+
+The paper's throughput argument (§5, fig4/fig6) is that sampling should be
+memory-bandwidth-bound; a hot path that materializes a Python
+``(timestamp, (key, value))`` tuple per record between every layer is
+bound by the allocator instead.  This module makes the *batch* the unit
+every layer speaks:
+
+* `RecordBatch` — a time-ordered event stream held as NumPy columns
+  (``ts: float64``, ``key: int32`` interned against a key table,
+  ``value: float64``, and an optional broker ``seq: int64``).  It
+  subclasses ``list`` of the classic ``(timestamp, item)`` event tuples,
+  so every existing consumer — ``bisect`` boundary searches, per-item
+  operators, checkpoint replay slicing, ground-truth re-execution — keeps
+  working unchanged: per-item iteration *is* the compatibility shim
+  (`RecordBatch.iter_items`).  The columns are built lazily on first use
+  and cached.
+* `ColumnSlice` — a zero-copy view over a ``[lo, hi)`` range of the item
+  columns (no timestamps), behaving as a sequence of ``(key, value)``
+  items.  Slicing (including strided slicing, which is how round-robin
+  sharding partitions work) returns another view; integer indexing and
+  iteration materialize genuine Python ``(key, float)`` tuples, so
+  anything downstream — reservoir fills, the shared-memory codec's
+  ``type(value) is float`` check — sees exactly the objects the per-item
+  path would have produced.
+* `item_key` / `item_value` — the canonical projections of the classic
+  ``(key, value)`` item shape.  Queries default to them
+  (`repro.runtime.config.StreamQuery`), and the drivers enable the
+  columnar path only when a query's projections *are* these functions
+  (identity comparison): any custom projection falls back to the item
+  shim, with the reason surfaced as ``SystemReport.columnar_fallback``.
+
+Batches that the columnar codec cannot represent — payloads that are not
+plain ``(hashable key, float)`` 2-tuples — still build the timestamp
+column when possible and record why the item columns are unavailable in
+`RecordBatch.columnar_reason`; the drivers report that reason instead of
+silently degrading.
+
+`L2_SLICE` caps the working set of one vectorized sampling call: oversized
+inputs are processed in L2-cache-sized column slices inside
+`repro.core.reservoir.Reservoir.offer_many` and
+`repro.core.oasrs.OASRSSampler.process_chunk`, which is what keeps large
+chunk sizes from spilling out of cache (the old chunk=4096 regression).
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from operator import itemgetter
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from ._vector import np as _np
+
+__all__ = [
+    "L2_SLICE",
+    "item_key",
+    "item_value",
+    "RecordBatch",
+    "ColumnSlice",
+]
+
+#: Rows per vectorized sampling call.  8192 rows × (4 B code + 8 B value)
+#: ≈ 96 KiB of live columns plus the reservoir's own working set — sized to
+#: stay inside a typical per-core L2 cache.  Inputs larger than this are
+#: processed slice by slice; chunk sizes at or below it are untouched.
+L2_SLICE = 8192
+
+
+def item_key(item) -> Hashable:
+    """Canonical key projection of a classic ``(key, value)`` stream item."""
+    return item[0]
+
+
+def item_value(item) -> float:
+    """Canonical value projection of a classic ``(key, value)`` stream item."""
+    return item[1]
+
+
+class ColumnSlice:
+    """A zero-copy sequence view over interned ``(key, value)`` columns.
+
+    ``codes``/``values`` are aligned NumPy arrays (``int32``/``float64``);
+    ``key_table`` maps a code back to the original key object.  The view is
+    a sequence of ``(key, value)`` items:
+
+    * ``view[i]`` materializes one Python ``(key, float)`` tuple,
+    * ``view[a:b]`` / ``view[a:b:step]`` return another `ColumnSlice` over
+      the (NumPy basic-sliced, still zero-copy) sub-range — strided slicing
+      is how round-robin shard partitioning stays a view,
+    * iteration materializes Python tuples in one C-level pass.
+
+    The materialized values are genuine Python ``float`` objects (via
+    ``ndarray.tolist()`` / ``.item()``), preserving the exact object shapes
+    the per-item path produces.
+    """
+
+    __slots__ = ("codes", "values", "key_table")
+
+    def __init__(self, codes, values, key_table: List[Hashable]) -> None:
+        self.codes = codes
+        self.values = values
+        self.key_table = key_table
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ColumnSlice(
+                self.codes[index], self.values[index], self.key_table
+            )
+        return (
+            self.key_table[self.codes[index]],
+            self.values.item(index),
+        )
+
+    def __iter__(self):
+        keys = self.key_table
+        return iter(
+            list(
+                zip(
+                    map(keys.__getitem__, self.codes.tolist()),
+                    self.values.tolist(),
+                )
+            )
+        )
+
+    def take(self, positions) -> List[Tuple[Hashable, float]]:
+        """Materialize the items at the given positions (one C-level gather).
+
+        ``positions`` is an integer array; the batched-RNG accept loop of
+        `repro.core.reservoir.Reservoir` uses this instead of one
+        ``__getitem__`` call per accepted item.
+        """
+        keys = self.key_table
+        return list(
+            zip(
+                map(keys.__getitem__, self.codes[positions].tolist()),
+                self.values[positions].tolist(),
+            )
+        )
+
+    def materialize(self) -> List[Tuple[Hashable, float]]:
+        """The equivalent list of Python ``(key, value)`` item tuples."""
+        return list(self)
+
+    def __reduce__(self):
+        # Pickling (e.g. the sharded executor's fallback transport) ships
+        # the materialized items; the arrays may be views into buffers that
+        # do not exist on the other side (shared memory, a parent batch).
+        return (_rebuild_column_slice, (self.materialize(),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnSlice({len(self)} items, {len(self.key_table)} keys)"
+
+
+def _rebuild_column_slice(items: List[Tuple[Hashable, float]]):
+    """Unpickle a `ColumnSlice` as the plain item list it represented."""
+    return items
+
+
+class _FloatRun:
+    """A raw value run: the float sequence a value-mode reservoir samples.
+
+    Wraps one stratum's ``float64`` value slice so
+    `repro.core.reservoir.Reservoir` can fill and accept *plain Python
+    floats* — no per-item tuple builds anywhere on the sampling hot path.
+    The tuples reappear lazily at sample-emission time
+    (`repro.core.oasrs.OASRSSampler.peek` wraps the kept floats in a
+    `_StratumMembers`).
+    """
+
+    __slots__ = ("values", "_vals")
+
+    def __init__(self, values) -> None:
+        self.values = values
+        self._vals = None
+
+    def _list(self) -> List[float]:
+        vals = self._vals
+        if vals is None:
+            vals = self._vals = self.values.tolist()
+        return vals
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index):
+        return self._list()[index]
+
+    def __iter__(self):
+        return iter(self._list())
+
+    def take(self, positions) -> List[float]:
+        """The floats at the given integer positions (one C-level gather)."""
+        vals = self._vals
+        if vals is not None:
+            return [vals[p] for p in positions.tolist()]
+        return self.values[positions].tolist()
+
+
+class _StratumMembers:
+    """One stratum's members: a constant key over a run of float values.
+
+    A lazy sequence of ``(key, value)`` tuples used in two places: the
+    columnar grouping of `repro.core.oasrs.OASRSSampler.process_chunk`
+    hands these to `repro.core.reservoir.Reservoir.offer_many` (the
+    vectorized accept path gathers kept items through `take`, one C-level
+    pass per chunk), and `peek` emits them as the ``items`` of a
+    value-mode `repro.core.strata.StratumSample`.  Estimators that only
+    need the numeric values read them through `value_list` without any
+    tuple ever being built; per-item access materializes the whole run
+    once (also a C-level pass) and indexes the cached list.
+
+    ``values`` may be a NumPy ``float64`` array (column view) or a plain
+    list of Python floats (a value-mode reservoir's kept items).
+    """
+
+    __slots__ = ("key", "values", "_vals", "_items")
+
+    def __init__(self, key: Hashable, values) -> None:
+        self.key = key
+        self.values = values
+        self._vals = values if type(values) is list else None
+        self._items = None
+
+    def value_list(self) -> List[float]:
+        """The member values as a list of Python floats (cached)."""
+        vals = self._vals
+        if vals is None:
+            vals = self._vals = self.values.tolist()
+        return vals
+
+    def _materialized(self):
+        items = self._items
+        if items is None:
+            items = self._items = list(zip(repeat(self.key), self.value_list()))
+        return items
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index):
+        return self._materialized()[index]
+
+    def __iter__(self):
+        return iter(self._materialized())
+
+    def take(self, positions) -> List[Tuple[Hashable, float]]:
+        """Materialize the items at the given positions (one C-level gather)."""
+        items = self._items
+        if items is not None:
+            return [items[p] for p in positions.tolist()]
+        vals = self._vals
+        if vals is not None:
+            key = self.key
+            return [(key, vals[p]) for p in positions.tolist()]
+        return list(zip(repeat(self.key), self.values[positions].tolist()))
+
+    # Sample-merging and serialization interop: behave as the tuple of
+    # items this run stands for.
+
+    def __add__(self, other):
+        return tuple(self._materialized()) + tuple(other)
+
+    def __radd__(self, other):
+        return tuple(other) + tuple(self._materialized())
+
+    def __eq__(self, other):
+        if isinstance(other, _StratumMembers):
+            other = other._materialized()
+        if isinstance(other, (list, tuple)):
+            return list(self._materialized()) == list(other)
+        return NotImplemented
+
+    def __reduce__(self):
+        return (tuple, (tuple(self._materialized()),))
+
+
+class RecordBatch(list):
+    """A time-ordered ``(timestamp, item)`` stream with cached NumPy columns.
+
+    Being a ``list`` subclass is the compatibility contract: every per-item
+    consumer (iteration, ``bisect``, ``len``, slicing — which returns a
+    plain list) behaves exactly as before.  The columns are derived lazily:
+
+    * ``ts`` (``float64``) — always built when NumPy is available,
+    * ``codes`` (``int32``) / ``values`` (``float64``) / ``key_table`` —
+      built only when every item is a plain 2-tuple of a hashable key and
+      a ``float`` payload (the shared-memory codec's representable set);
+      otherwise `columnar_reason` records why and the per-item shim is the
+      only path,
+    * ``seq`` (``int64``) — optional broker production sequence, attached
+      by `repro.runtime.source.TopicSource.batches`.
+
+    Columns are invalidated if the list length changes (the runtime never
+    mutates streams; this guards ad-hoc test usage).
+    """
+
+    _UNBUILT = object()
+
+    def __init__(self, events: Iterable[Tuple[float, object]] = ()) -> None:
+        super().__init__(events)
+        self._cols = RecordBatch._UNBUILT
+        self._seq = None
+
+    @classmethod
+    def of(cls, events) -> "RecordBatch":
+        """Coerce to a `RecordBatch`; an existing batch passes through."""
+        if isinstance(events, RecordBatch):
+            return events
+        return cls(events)
+
+    def with_seq(self, seqs) -> "RecordBatch":
+        """Attach the broker production-sequence column (int64)."""
+        if _np is not None:
+            self._seq = _np.asarray(seqs, dtype=_np.int64)
+        return self
+
+    # -- column access ------------------------------------------------------
+
+    def _columns(self):
+        cols = self._cols
+        if cols is RecordBatch._UNBUILT or cols[4] != len(self):
+            cols = self._cols = self._build_columns()
+        return cols
+
+    def _build_columns(self):
+        n = len(self)
+        if _np is None:
+            return (None, None, None, None, n, "numpy unavailable")
+        if n == 0:
+            return (
+                _np.empty(0, _np.float64),
+                _np.empty(0, _np.int32),
+                _np.empty(0, _np.float64),
+                [],
+                n,
+                None,
+            )
+        try:
+            ts_vals, items = zip(*self)
+        except (TypeError, ValueError):
+            return (None, None, None, None, n, "events are not (ts, item) pairs")
+        try:
+            ts = _np.asarray(ts_vals, dtype=_np.float64)
+        except (TypeError, ValueError):
+            return (None, None, None, None, n, "non-numeric timestamps")
+        reason = None
+        if set(map(type, items)) != {tuple}:
+            reason = "items are not plain (key, value) tuples"
+        elif set(map(len, items)) != {2}:
+            reason = "items are not 2-tuples"
+        elif set(map(type, map(itemgetter(1), items))) != {float}:
+            reason = "non-float payloads (value is not a plain float)"
+        if reason is not None:
+            return (ts, None, None, None, n, reason)
+        keys = list(map(itemgetter(0), items))
+        try:
+            # dict.fromkeys preserves first-appearance order, so code order
+            # is the order the dict-grouping shim would discover keys in.
+            code_of = {k: i for i, k in enumerate(dict.fromkeys(keys))}
+        except TypeError:
+            return (ts, None, None, None, n, "unhashable keys")
+        codes = _np.fromiter(
+            map(code_of.__getitem__, keys), dtype=_np.int32, count=n
+        )
+        values = _np.fromiter(map(itemgetter(1), items), dtype=_np.float64, count=n)
+        key_table = list(code_of)  # insertion order == code order
+        return (ts, codes, values, key_table, n, None)
+
+    @property
+    def ts(self):
+        """The timestamp column (float64), or None when unavailable."""
+        return self._columns()[0]
+
+    @property
+    def codes(self):
+        """Interned key codes (int32), or None when items are not columnar."""
+        return self._columns()[1]
+
+    @property
+    def values(self):
+        """The value column (float64), or None when items are not columnar."""
+        return self._columns()[2]
+
+    @property
+    def key_table(self) -> Optional[List[Hashable]]:
+        """Code → key mapping, or None when items are not columnar."""
+        return self._columns()[3]
+
+    @property
+    def seq(self):
+        """Broker production-sequence column (int64), or None."""
+        return self._seq
+
+    @property
+    def columnar_reason(self) -> Optional[str]:
+        """Why the item columns are unavailable (None when they are)."""
+        return self._columns()[5]
+
+    @property
+    def has_columns(self) -> bool:
+        """Whether the full (codes, values) item columns are available."""
+        return self._columns()[1] is not None
+
+    # -- views and the per-item shim ----------------------------------------
+
+    def item_slice(self, lo: int, hi: int) -> ColumnSlice:
+        """Zero-copy `ColumnSlice` over the items of events ``[lo, hi)``."""
+        _ts, codes, values, key_table, _n, reason = self._columns()
+        if codes is None:
+            raise ValueError(f"batch has no item columns: {reason}")
+        return ColumnSlice(codes[lo:hi], values[lo:hi], key_table)
+
+    def iter_items(self):
+        """The per-item compatibility shim: iterate ``(timestamp, item)``.
+
+        Identical to plain iteration — the method exists to mark call sites
+        that deliberately take the legacy per-item path (non-columnar
+        payloads, ``route_fn`` sharding, custom projections).
+        """
+        return iter(self)
+
+    def __reduce__(self):
+        # Columns are derived state; ship only the events (fork-based
+        # workers inherit the cached columns through the address space
+        # anyway, and pickle consumers just want the stream).
+        return (RecordBatch, (list(self),))

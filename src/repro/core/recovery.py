@@ -153,6 +153,7 @@ def sampler_state(sampler: OASRSSampler) -> Dict[str, Any]:
     return {
         "rng": sampler._rng.getstate(),
         "known_keys": sorted(sampler._known_keys, key=repr),
+        "value_keys": sorted(sampler._value_keys, key=repr),
         "reservoirs": [
             (key, reservoir_state(res)) for key, res in sampler._reservoirs.items()
         ],
@@ -170,6 +171,8 @@ def restore_sampler(sampler: OASRSSampler, state: Dict[str, Any]) -> OASRSSample
     sampler._rng.setstate(state["rng"])
     restore_attrs(sampler._policy, state["policy"])
     sampler._known_keys = set(state["known_keys"])
+    # Older snapshots predate value-mode reservoirs; default to none.
+    sampler._value_keys = set(state.get("value_keys", ()))
     sampler._reservoirs = {
         key: restore_reservoir(saved, sampler._rng)
         for key, saved in state["reservoirs"]

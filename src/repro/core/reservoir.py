@@ -31,6 +31,7 @@ from typing import Generic, Iterable, Iterator, List, Optional, Sequence, TypeVa
 from ._vector import VECTOR_MIN as _VECTOR_MIN
 from ._vector import derive_generator as _derive_generator
 from ._vector import np as _np
+from .records import L2_SLICE as _L2_SLICE
 
 T = TypeVar("T")
 
@@ -127,12 +128,26 @@ class Reservoir(Generic[T]):
         distribution is unchanged; only the RNG call pattern differs.  A
         one-item chunk delegates to ``offer`` so chunked and per-item
         execution agree bit-for-bit at ``chunk_size=1``.
+
+        ``items`` may be any sequence (``len`` + indexing/slicing) — lists,
+        tuples, or the lazy column views of `repro.core.records` — and is
+        never copied wholesale: only the items that actually enter the
+        reservoir are materialized.  Inputs larger than
+        `repro.core.records.L2_SLICE` are processed slice by slice so one
+        call's working set stays cache-sized; the acceptance distribution
+        is unchanged (the RNG call pattern differs from an unsplit pass,
+        deterministically, for such oversized inputs only).
         """
-        if not isinstance(items, (list, tuple)):
+        if not hasattr(items, "__len__"):
             items = list(items)
         n = len(items)
         if n == 0:
             return 0
+        if n > _L2_SLICE:
+            accepted = 0
+            for start in range(0, n, _L2_SLICE):
+                accepted += self.offer_many(items[start : start + _L2_SLICE])
+            return accepted
         if n == 1:
             return 1 if self.offer(items[0]) else 0
         pos = 0
@@ -203,8 +218,15 @@ class Reservoir(Generic[T]):
         if count:
             slots = gen.integers(0, cap, size=count)
             res = self._items
-            for hit, slot in zip(hits.tolist(), slots.tolist()):
-                res[slot] = items[pos + hit]
+            take = getattr(items, "take", None)
+            if take is not None:
+                # Column views gather all accepted items in one C-level
+                # pass instead of one __getitem__ tuple build per item.
+                for slot, item in zip(slots.tolist(), take(pos + hits)):
+                    res[slot] = item
+            else:
+                for hit, slot in zip(hits.tolist(), slots.tolist()):
+                    res[slot] = items[pos + hit]
         self._seen = t + n
         return count
 

@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Generic, Hashable, List, Sequence, Tuple, TypeVar
 
+from .records import item_value as _item_value
+
 T = TypeVar("T")
 Key = Hashable
 
@@ -89,6 +91,11 @@ class StratumSample(Generic[T]):
 
     def values(self, value_fn=None) -> List[float]:
         """Numeric values of the sampled items (identity by default)."""
+        raw = getattr(self.items, "value_list", None)
+        if raw is not None and (value_fn is None or value_fn is _item_value):
+            # Value-mode members already hold the raw float column; no
+            # per-item projection call is needed.
+            return list(raw())
         if value_fn is None:
             return [float(x) for x in self.items]  # type: ignore[arg-type]
         return [float(value_fn(x)) for x in self.items]

@@ -97,6 +97,51 @@ class Batcher(Generic[T]):
         if current:
             yield MicroBatch(index, boundary - self.interval, self.interval, tuple(current))
 
+    def batches_columnar(self, batch) -> Iterator[MicroBatch[T]]:
+        """Columnar counterpart of ``batches`` over a `RecordBatch`.
+
+        Batch boundaries come from ``searchsorted`` on the cached timestamp
+        column instead of a per-item accumulation loop, and each
+        micro-batch's ``items`` is a zero-copy
+        `repro.core.records.ColumnSlice` view.  Boundary arithmetic is the
+        *same accumulated* ``boundary += interval`` float sequence as the
+        per-item loop, so batch indices, starts, ends — and therefore every
+        downstream pane fire — are bitwise identical.  Empty intervals are
+        emitted, a trailing partial batch only when non-empty, and a
+        timestamp before ``start`` raises, exactly as in ``batches``.
+        """
+        from ...core._vector import np as _np
+
+        ts = batch.ts
+        n = len(batch)
+        if n and float(ts.min()) < self.start:
+            raise ValueError(
+                f"timestamp {float(ts.min())} precedes stream start {self.start}"
+            )
+        index = 0
+        boundary = self.start + self.interval
+        pos = 0
+        while pos < n:
+            end_idx = int(_np.searchsorted(ts, boundary, side="left"))
+            if end_idx < n:
+                yield MicroBatch(
+                    index,
+                    boundary - self.interval,
+                    self.interval,
+                    batch.item_slice(pos, end_idx),
+                )
+                pos = end_idx
+                index += 1
+                boundary += self.interval
+            else:
+                yield MicroBatch(
+                    index,
+                    boundary - self.interval,
+                    self.interval,
+                    batch.item_slice(pos, n),
+                )
+                pos = n
+
 
 class SlidingWindower(Generic[T]):
     """Group micro-batches into sliding windows of ``length`` every ``slide``.

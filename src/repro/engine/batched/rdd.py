@@ -87,7 +87,10 @@ class MiniRDD(Generic[T]):
         which is why bigger RDDs schedule more tasks, the overhead
         StreamApprox trims by sampling before RDD formation.
         """
-        items = list(data)
+        # Sequences (lists, tuples, the columnar views of
+        # `repro.core.records`) are partitioned in place — no wholesale
+        # copy; only true iterators are materialised first.
+        items = data if hasattr(data, "__len__") else list(data)
         if num_partitions:
             parts = num_partitions
         else:
@@ -344,10 +347,14 @@ class MiniRDD(Generic[T]):
         return n
 
 
-def _split(items: List[T], parts: int) -> List[List[T]]:
-    """Round-robin split preserving total order within each partition."""
+def _split(items: Sequence[T], parts: int) -> List[Sequence[T]]:
+    """Round-robin split preserving total order within each partition.
+
+    Implemented as strided slices — ``items[p::parts]`` holds exactly the
+    items a per-item ``out[i % parts].append(item)`` loop would give
+    partition ``p``.  Plain lists yield list partitions as before; the
+    columnar views of `repro.core.records` yield strided sub-views, so
+    partitioning a column-backed batch copies nothing.
+    """
     parts = max(1, parts)
-    out: List[List[T]] = [[] for _ in range(parts)]
-    for i, item in enumerate(items):
-        out[i % parts].append(item)
-    return out
+    return [items[p::parts] for p in range(parts)]

@@ -130,6 +130,7 @@ class Pipeline:
         self,
         stream: Iterable[Tuple[float, T]],
         chunk_size: int = 0,
+        columnar: bool = False,
     ) -> List[Tuple[float, object]]:
         """Push a time-ordered stream through; return the sink's results.
 
@@ -139,10 +140,17 @@ class Pipeline:
         operator) split chunks at their own fire boundaries, so results are
         identical to per-item execution — only the per-record Python
         overhead is amortised.
+
+        ``columnar=True`` (set by the driver for canonical queries over a
+        column-backed `repro.core.records.RecordBatch`) delivers each chunk
+        as a zero-copy column view instead of buffering per item; chunk
+        boundaries, watermarks, and results are identical.
         """
         if self._sink is None:
             raise RuntimeError("pipeline has no sink; call sink_process/sink_collect")
         if chunk_size and chunk_size > 1:
+            if columnar and getattr(stream, "has_columns", False):
+                return self._run_chunked_columnar(stream, chunk_size)
             return self._run_chunked(stream, chunk_size)
         last_ts = None
         for timestamp, item in stream:
@@ -191,4 +199,31 @@ class Pipeline:
         if last_ts is not None:
             self._source.on_watermark(last_ts + 1e-9)
         self._source.on_close()
+        return list(self._sink.results)  # type: ignore[attr-defined]
+
+    def _run_chunked_columnar(
+        self, batch, chunk_size: int
+    ) -> List[Tuple[float, object]]:
+        """Chunked run over a column-backed batch: no per-item buffering.
+
+        Chunks are exactly the ``[i, i + chunk_size)`` runs the buffering
+        loop of ``_run_chunked`` flushes; timestamps are materialised per
+        chunk via ``tolist()`` (Python floats, bit-identical to the stream's
+        own), and item payloads stay zero-copy
+        `repro.core.records.ColumnSlice` views until an operator touches
+        individual items.
+        """
+        source = self._source
+        ts_col = batch.ts
+        n = len(batch)
+        if n > 1 and bool((ts_col[1:] < ts_col[:-1]).any()):
+            raise ValueError("stream is not time-ordered")
+        for i in range(0, n, chunk_size):
+            j = min(i + chunk_size, n)
+            chunk_ts = ts_col[i:j].tolist()
+            source.on_watermark(chunk_ts[0])
+            source.on_chunk(chunk_ts, batch.item_slice(i, j))
+        if n:
+            source.on_watermark(float(ts_col[n - 1]) + 1e-9)
+        source.on_close()
         return list(self._sink.results)  # type: ignore[attr-defined]

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Optional, Union
 
 from ..core.budget import AccuracyBudget, LatencyBudget, ResourceBudget
+from ..core.records import item_key, item_value
 from ..core.recovery import FaultSchedule
 from ..engine.costs import CostProfile
 from .checkpoint import CheckpointPolicy
@@ -38,16 +39,23 @@ class StreamQuery:
     being aggregated, ``kind`` picks the linear aggregate, and ``group_fn``
     optionally splits the output per group (the case-study queries).
 
+    The defaults are the canonical projections of the classic
+    ``(key, value)`` item shape (`repro.core.records.item_key` /
+    `repro.core.records.item_value`).  Keeping them enables the columnar
+    record path end-to-end: the drivers recognise the canonical
+    projections by identity and operate on the stream's interned key and
+    value columns directly, falling back to the per-item shim (with
+    ``SystemReport.columnar_fallback`` set) for custom callables.
+
     Example
     -------
-    >>> q = StreamQuery(key_fn=lambda it: it[0], value_fn=lambda it: it[1],
-    ...                 kind="mean", name="window-mean")
+    >>> q = StreamQuery(kind="mean", name="window-mean")
     >>> q.key_fn(("A", 3.5)), q.value_fn(("A", 3.5))
     ('A', 3.5)
     """
 
-    key_fn: Callable[[object], Hashable]
-    value_fn: Callable[[object], float]
+    key_fn: Callable[[object], Hashable] = item_key
+    value_fn: Callable[[object], float] = item_value
     kind: str = "mean"  # "mean" | "sum"
     group_fn: Optional[Callable[[object], Hashable]] = None
     name: str = "query"

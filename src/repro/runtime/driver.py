@@ -39,6 +39,7 @@ every pane close and attached to the pane's `WindowResult.recovery`.
 from __future__ import annotations
 
 import math
+import os
 import time
 from bisect import bisect_left
 from collections import deque
@@ -48,6 +49,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..core._vector import np as _np
 from ..core.error import estimate_error
 from ..core.query import QueryResult, StratumStats
+from ..core.records import RecordBatch, item_key, item_value
 from ..core.strata import WeightedSample, combine_worker_samples, stratum_weight
 from ..engine.batched.context import StreamingContext
 from ..engine.batched.dstream import Batcher
@@ -127,10 +129,70 @@ def _strata_hint(stream, key_fn) -> int:
     budget one way rather than another.  (The pre-runtime pipelined system
     scanned the whole stream for this hint; the cap trades that O(n) pass
     for first-interval-only hint noise on >20k-item streams.)
+
+    Column-backed streams with the canonical key projection count distinct
+    interned codes over the prefix instead of hashing items one by one —
+    same count, one vectorized pass.
     """
+    if (
+        _np is not None
+        and key_fn is item_key
+        and isinstance(stream, RecordBatch)
+        and stream.has_columns
+    ):
+        codes = stream.codes[:_STRATA_HINT_PREFIX]
+        return max(1, int(_np.unique(codes).size)) if codes.size else 1
     return max(
         1, len({key_fn(item) for _ts, item in stream[:_STRATA_HINT_PREFIX]})
     )
+
+
+def _record_stream(source) -> RecordBatch:
+    """Drain a plan source as one `RecordBatch` (the drivers' native form).
+
+    Sources deliver the stream as column-backed batches (``batches()``);
+    most produce exactly one, which passes through untouched — for a
+    `repro.runtime.source.ListSource` this is the *same object* every run,
+    so cached columns are shared.  Multi-batch sources are concatenated in
+    order (the columns rebuild lazily over the union).
+    """
+    batches = source.batches()
+    if len(batches) == 1:
+        return batches[0]
+    merged = RecordBatch()
+    for batch in batches:
+        merged.extend(batch)
+    return merged
+
+
+def _columnar_reason(stream, query) -> Optional[str]:
+    """Why this run cannot take the columnar record path (None when it can).
+
+    The columnar path is on by default and engages when NumPy is present,
+    the stream's item columns built (plain ``(hashable key, float)``
+    2-tuples), and the query's projections are the canonical
+    `repro.core.records.item_key` / `repro.core.records.item_value`
+    (identity comparison — a custom callable could observe anything about
+    the item object, so it forces the per-item shim).  The returned reason
+    is surfaced as ``SystemReport.columnar_fallback``, mirroring
+    ``parallel_fallback``: the run still completes, identically, via the
+    per-item shim.
+    """
+    if os.environ.get("REPRO_NO_COLUMNAR"):
+        return "columnar path disabled via REPRO_NO_COLUMNAR"
+    if _np is None:
+        return "numpy unavailable"
+    if not isinstance(stream, RecordBatch):
+        return "stream is not a RecordBatch"
+    if not (query.key_fn is item_key and query.value_fn is item_value):
+        return "custom key/value projections (per-item shim)"
+    return stream.columnar_reason
+
+
+def _note_columnar(run_info: Optional[dict], reason: Optional[str]) -> None:
+    """Record the columnar-fallback reason in the run diagnostics."""
+    if run_info is not None and reason:
+        run_info["columnar_fallback"] = reason
 
 
 def _checkpoint_setup(
@@ -273,7 +335,7 @@ def run_batched(
     micro-batches from the checkpointed pane boundary (``Batcher`` started
     at ``pane_end`` over the unconsumed stream suffix).
     """
-    stream = plan.source.events()
+    stream = _record_stream(plan.source)
     config, window, query = plan.config, plan.window, plan.query
     ctx = StreamingContext(
         batch_interval=config.batch_interval,
@@ -282,9 +344,15 @@ def run_batched(
         costs=config.costs,
     )
     bound_strategy = None
+    columnar_reason = _columnar_reason(stream, query)
     if handle_batch is None:
         bound_strategy = get_strategy(plan.strategy).bind(plan)
         handle_batch = bound_strategy.sample_batch
+    elif columnar_reason is None:
+        # An ad-hoc sampling hook can observe anything about its items, so
+        # it gets the classic tuple-of-items micro-batches.
+        columnar_reason = "ad-hoc handle_batch override (per-item shim)"
+    _note_columnar(run_info, columnar_reason)
     store, every = _checkpoint_setup(plan, checkpoint_store)
     if (store is not None or resume_from is not None) and bound_strategy is None:
         raise PlanError(
@@ -325,8 +393,17 @@ def run_batched(
     else:
         batcher = ctx.batcher()
         feed = stream
+    # Columnar micro-batching: boundaries via searchsorted on the cached
+    # timestamp column, micro-batch items as zero-copy column views —
+    # bitwise-identical batch tiling (see `Batcher.batches_columnar`).
+    # Resume replays the stream suffix (a plain list) through the classic
+    # per-item batcher; results are identical either way.
+    if columnar_reason is None and resume_from is None:
+        batch_iter = batcher.batches_columnar(feed)
+    else:
+        batch_iter = batcher.batches(feed)
     try:
-        for batch in batcher.batches(feed):
+        for batch in batch_iter:
             history.append(handle_batch(ctx, batch.items))
             consumed += len(batch.items)
             if len(history) > per_window:
@@ -418,12 +495,15 @@ def run_pipelined(
     operator's window state and restarts the dataflow at the checkpointed
     pane boundary over the unconsumed stream suffix.
     """
-    stream = plan.source.events()
+    stream = _record_stream(plan.source)
     config, window, query = plan.config, plan.window, plan.query
     cluster = SimulatedCluster(
         nodes=config.nodes, cores_per_node=config.cores_per_node, costs=config.costs
     )
     confidence = config.confidence
+    columnar_reason = _columnar_reason(stream, query)
+    _note_columnar(run_info, columnar_reason)
+    use_columns = columnar_reason is None
     bound_strategy = get_strategy(plan.strategy).bind(plan)
     controller = _make_controller(plan)
     store, every = _checkpoint_setup(plan, checkpoint_store)
@@ -539,7 +619,7 @@ def run_pipelined(
                     state_hook=state_hook,
                 )
                 .sink_collect()
-                .run(feed, chunk_size=config.chunk_size)
+                .run(feed, chunk_size=config.chunk_size, columnar=use_columns)
             )
             records = [
                 (ts, estimate, bound, groups, kept, total, recovery)
@@ -610,7 +690,7 @@ def run_pipelined(
                     preload=preload,
                 )
                 .sink_collect()
-                .run(feed, chunk_size=config.chunk_size)
+                .run(feed, chunk_size=config.chunk_size, columnar=use_columns)
             )
             records = [
                 (ts, estimate, bound, groups, n, n, ())
@@ -655,19 +735,34 @@ def _interval_moments(sample, value_fn):
     Computed once when the interval closes; panes pool these instead of
     re-scanning every sampled item per pane — batch-level accounting in the
     estimation layer, matching the chunk-level accounting in the samplers.
+
+    With the canonical value projection the value column is pulled out in
+    one C-level pass (``fromiter`` over the second tuple slot) instead of a
+    per-item listcomp; the array holds the identical Python floats either
+    way, so sums and squares are bitwise unchanged.
     """
     moments = []
+    value_of = itemgetter(1)
     for stratum in sample:
         items = stratum.items
         y = len(items)
         if y == 0:
             continue
+        canonical = value_fn is item_value
+        raw = getattr(items, "value_list", None) if canonical else None
         if _np is not None and y >= 1024:
-            array = _np.asarray([value_fn(x) for x in items], dtype=_np.float64)
+            if raw is not None:
+                array = _np.asarray(raw(), dtype=_np.float64)
+            elif canonical:
+                array = _np.fromiter(
+                    map(value_of, items), dtype=_np.float64, count=y
+                )
+            else:
+                array = _np.asarray([value_fn(x) for x in items], dtype=_np.float64)
             total = float(array.sum())
             sumsq = float(_np.dot(array, array))
         else:
-            values = [value_fn(x) for x in items]
+            values = raw() if raw is not None else [value_fn(x) for x in items]
             total = math.fsum(values)
             sumsq = math.fsum(v * v for v in values)
         moments.append((stratum.key, y, stratum.count, total, sumsq))
@@ -730,7 +825,7 @@ def run_direct(
     bound strategy, the controller, and the in-window interval history;
     resume restarts the interval loop at the checkpointed boundary.
     """
-    stream = plan.source.events()
+    stream = _record_stream(plan.source)
     config, window, query = plan.config, plan.window, plan.query
     cluster = SimulatedCluster(
         nodes=config.nodes, cores_per_node=config.cores_per_node, costs=config.costs
@@ -740,6 +835,11 @@ def run_direct(
         if resume_from is not None:
             results = list(resume_from.results)
         return results, cluster, 0.0
+    columnar_reason = _columnar_reason(stream, query)
+    _note_columnar(run_info, columnar_reason)
+    # Columnar hot loop: interval boundaries from searchsorted on the
+    # timestamp column, chunk feeding through zero-copy column views.
+    ts_col = stream.ts if columnar_reason is None else None
     controller = _make_controller(plan)
     if controller is not None:
         initial = controller.initial_total(int(_per_slide_items(stream, window)))
@@ -788,7 +888,14 @@ def run_direct(
         pane_index = resume_from.pane_index
     try:
         while start_idx < n:
-            end_idx = bisect_left(stream, boundary, lo=start_idx, key=timestamp_of)
+            if ts_col is not None:
+                # Equivalent to the bisect below: the column holds the very
+                # same float timestamps, "left" matches bisect_left.
+                end_idx = int(_np.searchsorted(ts_col, boundary, side="left"))
+            else:
+                end_idx = bisect_left(
+                    stream, boundary, lo=start_idx, key=timestamp_of
+                )
             lo = start_idx
             start_idx = end_idx
             pane_end = boundary
@@ -800,12 +907,24 @@ def run_direct(
                 # pooled workers slice their shard from the pinned stream.
                 sample = run_span(lo, end_idx)
             elif run_interval is not None:
-                sample = run_interval([item for _ts, item in stream[lo:end_idx]])
+                if ts_col is not None:
+                    sample = run_interval(stream.item_slice(lo, end_idx))
+                else:
+                    sample = run_interval([item for _ts, item in stream[lo:end_idx]])
             elif chunk > 1 and end_idx - lo > 1:
-                items = [item for _ts, item in stream[lo:end_idx]]
                 process_chunk = sampler.process_chunk
-                for start in range(0, len(items), chunk):
-                    process_chunk(items[start : start + chunk])
+                if ts_col is not None:
+                    # Column hand-off: each chunk is a zero-copy view; the
+                    # sampler's columnar kernel groups strata by interned
+                    # code with the same first-appearance order (and RNG
+                    # stream) as the per-item dict grouping.
+                    view = stream.item_slice(lo, end_idx)
+                    for start in range(0, end_idx - lo, chunk):
+                        process_chunk(view[start : start + chunk])
+                else:
+                    items = [item for _ts, item in stream[lo:end_idx]]
+                    for start in range(0, len(items), chunk):
+                        process_chunk(items[start : start + chunk])
                 sample = sampler.close_interval()
             else:
                 offer = sampler.offer

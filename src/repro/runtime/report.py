@@ -119,6 +119,11 @@ class SystemReport:
     #: all-but-one workers dead) — None when no parallelism was requested
     #: or the persistent worker pool stayed healthy throughout.
     parallel_fallback: Optional[str] = None
+    #: Why the run left the columnar record path for the per-item shim
+    #: (NumPy missing, payloads the codec cannot represent, custom
+    #: key/value projections, or ``REPRO_NO_COLUMNAR``) — None when the
+    #: stream flowed through NumPy columns end to end.
+    columnar_fallback: Optional[str] = None
     #: Per-interval budget-adaptation trajectory (empty for fixed-fraction
     #: runs): one `repro.runtime.control.AdaptationPoint` per pane, showing
     #: the measured margin and the sample budget chosen for the next

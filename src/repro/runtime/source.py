@@ -25,6 +25,7 @@ from typing import Hashable, List, Optional, Tuple, TypeVar
 from ..aggregator.broker import Broker
 from ..aggregator.consumer import Consumer
 from ..aggregator.groups import ConsumerGroup
+from ..core.records import RecordBatch
 
 T = TypeVar("T")
 
@@ -36,6 +37,16 @@ class PlanSource:
 
     def events(self) -> List[Tuple[float, object]]:
         raise NotImplementedError
+
+    def batches(self) -> List[RecordBatch]:
+        """The same stream as `repro.core.records.RecordBatch` batches.
+
+        Concatenated in order, the batches reproduce ``events()`` exactly;
+        the columnar drivers consume this form so NumPy columns (and, for
+        broker sources, the production ``seq`` order) survive ingestion.
+        The default wraps ``events()`` in one batch.
+        """
+        return [RecordBatch.of(self.events())]
 
     @property
     def replayable(self) -> bool:
@@ -59,10 +70,16 @@ class ListSource(PlanSource):
     """
 
     def __init__(self, stream: List[Tuple[float, T]]) -> None:
-        self._stream = stream if isinstance(stream, list) else list(stream)
+        # Wrap once into a RecordBatch (a list subclass) so repeated
+        # runs/sources over the same stream share one set of cached
+        # columns; an existing batch passes through without copying.
+        self._stream = RecordBatch.of(stream)
 
     def events(self) -> List[Tuple[float, object]]:
         return self._stream
+
+    def batches(self) -> List[RecordBatch]:
+        return [self._stream]
 
     @property
     def replayable(self) -> bool:
@@ -135,6 +152,28 @@ class TopicSource(PlanSource):
         # merged stream is exactly the production order.
         records.sort(key=lambda r: (r.timestamp, r.seq))
         return [(r.timestamp, r.value) for r in records]
+
+    def batches(self) -> List[RecordBatch]:
+        """Assemble one `RecordBatch` per drain, preserving ``seq`` order.
+
+        The merged records keep exactly the ``events()`` order (timestamp,
+        then the broker's topic-global production sequence), and the batch
+        carries the ``seq`` column so replay consumers can verify or
+        re-establish production order without re-reading the topic.
+        """
+        if self._consumer is not None:
+            if self._rewind:
+                self._consumer.seek_to_beginning()
+            records = list(self._consumer.poll())
+        else:
+            if self._rewind:
+                self._group.seek_to_beginning()
+            records = []
+            for member in self._members:
+                records.extend(member.poll())
+            records.sort(key=lambda r: (r.timestamp, r.seq))
+        batch = RecordBatch((r.timestamp, r.value) for r in records)
+        return [batch.with_seq([r.seq for r in records])]
 
     @property
     def replayable(self) -> bool:

@@ -39,8 +39,10 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Type
 
+from ..core._vector import np as _np
 from ..core.distributed import ShardedExecutor, ShardedIntervalSampler
 from ..core.oasrs import OASRSSampler, WaterFillingAllocation
+from ..core.records import ColumnSlice, _StratumMembers, item_key
 from ..core.recovery import (
     restore_attrs,
     restore_sampler,
@@ -91,7 +93,29 @@ def available_strategies() -> List[str]:
 
 
 def full_weight_sample(items: Sequence[object], key_fn) -> WeightedSample:
-    """Wrap a fully-kept batch as weight-1 strata (exact representation)."""
+    """Wrap a fully-kept batch as weight-1 strata (exact representation).
+
+    Column chunks with the canonical key projection group by interned code
+    in one vectorized pass; stratum order (first appearance) and member
+    tuples are identical to the per-item dict grouping.
+    """
+    if _np is not None and isinstance(items, ColumnSlice) and key_fn is item_key:
+        sample = WeightedSample()
+        codes, values, table = items.codes, items.values, items.key_table
+        if codes.size == 0:
+            return sample
+        uniq, first = _np.unique(codes, return_index=True)
+        order = (
+            _np.argsort(first, kind="stable").tolist() if uniq.size > 1 else (0,)
+        )
+        for gi in order:
+            key = table[uniq[gi]]
+            member_values = values if uniq.size == 1 else values[codes == uniq[gi]]
+            # Lazy members: estimators read the raw value column; tuples
+            # materialize only if a consumer actually indexes the stratum.
+            members = _StratumMembers(key, member_values)
+            sample.add(StratumSample(key, members, len(members), 1.0))
+        return sample
     groups: Dict[object, List[object]] = {}
     for item in items:
         groups.setdefault(key_fn(item), []).append(item)
@@ -485,7 +509,12 @@ class _BoundOASRS(BoundStrategy):
             # budget re-set takes effect.  Nothing arrived, so there is
             # nothing to sample or charge — emit an empty pane contribution.
             return WeightedSample()
-        strata_hint = max(1, len({self.plan.query.key_fn(x) for x in items}))
+        key_fn = self.plan.query.key_fn
+        if _np is not None and isinstance(items, ColumnSlice) and key_fn is item_key:
+            # Distinct interned codes in the batch == distinct keys.
+            strata_hint = max(1, int(_np.unique(items.codes).size))
+        else:
+            strata_hint = max(1, len({key_fn(x) for x in items}))
         self._ensure_batch_sampler(len(items), strata_hint)
         # On-the-fly sampling: every arriving item is offered (O(1) each)...
         ctx.cluster.sample_items(len(items), "oasrs")

@@ -145,6 +145,7 @@ class StreamSystem:
             virtual_seconds=cluster.elapsed(),
             items_total=len(events),
             parallel_fallback=self._run_info.get("parallel_fallback"),
+            columnar_fallback=self._run_info.get("columnar_fallback"),
             adaptation=list(self.adaptation),
         )
 

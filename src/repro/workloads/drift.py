@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Tuple
 
 from ..aggregator.replay import interleave_substreams
+from ..core.records import RecordBatch
 from .synthetic import SubStreamSpec, gaussian_substreams
 
 __all__ = [
@@ -142,4 +143,4 @@ def drifting_stream(
             stream.append((phase_start + ts, item))
         phase_start += phase.duration
     stream.sort(key=lambda pair: pair[0])
-    return stream
+    return RecordBatch(stream)

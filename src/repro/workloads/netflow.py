@@ -105,6 +105,7 @@ def netflow_stream(
     in the real trace.
     """
     from ..aggregator.replay import interleave_substreams
+    from ..core.records import RecordBatch
 
     if mix is None:
         mix = PROTOCOL_MIX
@@ -118,4 +119,6 @@ def netflow_stream(
         rng = random.Random(base.getrandbits(64))
         flows = generate_flows(protocol, count, rng)
         substreams[protocol] = (rate, [(protocol, f) for f in flows])
-    return list(interleave_substreams(substreams))
+    # FlowRecord payloads are not plain floats, so the batch carries only a
+    # timestamp column and the runtime reports a columnar fallback.
+    return RecordBatch(interleave_substreams(substreams))

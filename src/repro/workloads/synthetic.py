@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Tuple
 
 from ..aggregator.replay import interleave_substreams
+from ..core.records import RecordBatch
 
 __all__ = [
     "SubStreamSpec",
@@ -117,8 +118,10 @@ def make_stream(
 ) -> List[Tuple[float, Item]]:
     """Interleave sub-streams at given rates (items/s) for ``duration`` s.
 
-    Returns the time-ordered list of ``(timestamp, (source, value))`` the
-    systems consume.  Each sub-stream gets an independent child RNG, so
+    Returns the time-ordered ``(timestamp, (source, value))`` stream the
+    systems consume, as a `repro.core.records.RecordBatch` (a list subclass
+    that also exposes NumPy timestamp/key/value columns for the runtime's
+    columnar path).  Each sub-stream gets an independent child RNG, so
     changing one rate never perturbs another sub-stream's values.
     """
     if duration <= 0:
@@ -135,7 +138,7 @@ def make_stream(
         items = [(spec.source, next(values)) for _ in range(count)]
         if items:
             substreams[spec.source] = (rate, items)
-    return list(interleave_substreams(substreams))
+    return RecordBatch(interleave_substreams(substreams))
 
 
 def stream_by_rates(

@@ -111,6 +111,7 @@ def taxi_stream(
 ) -> List[Tuple[float, Item]]:
     """The replayed case-study stream: (timestamp, (borough, TaxiRide))."""
     from ..aggregator.replay import interleave_substreams
+    from ..core.records import RecordBatch
 
     if mix is None:
         mix = BOROUGH_MIX
@@ -124,4 +125,6 @@ def taxi_stream(
         rng = random.Random(base.getrandbits(64))
         rides = generate_rides(borough, count, rng)
         substreams[borough] = (rate, [(borough, r) for r in rides])
-    return list(interleave_substreams(substreams))
+    # TaxiRide payloads are not plain floats, so the batch carries only a
+    # timestamp column and the runtime reports a columnar fallback.
+    return RecordBatch(interleave_substreams(substreams))

@@ -24,6 +24,7 @@ from repro.system import (
     SystemConfig,
     WindowConfig,
 )
+from repro.core.records import item_key, item_value
 from repro.workloads.synthetic import stream_by_rates
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "systems_golden.json")
@@ -56,11 +57,13 @@ def golden_stream() -> List[Tuple[float, object]]:
 
 
 def golden_query(grouped: bool = False) -> StreamQuery:
+    # Canonical projections: their identity is what arms the runtime's
+    # columnar path, so the golden suite exercises it by default.
     return StreamQuery(
-        key_fn=lambda it: it[0],
-        value_fn=lambda it: it[1],
+        key_fn=item_key,
+        value_fn=item_value,
         kind="mean",
-        group_fn=(lambda it: it[0]) if grouped else None,
+        group_fn=item_key if grouped else None,
         name="golden-mean",
     )
 

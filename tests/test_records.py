@@ -1,0 +1,301 @@
+"""Columnar record format properties: the batch is an execution detail.
+
+`repro.core.records.RecordBatch` is the pipeline's native record format;
+these tests pin the contract that makes that safe:
+
+* round-trip — a batch IS the event list it was built from (list subclass,
+  `ColumnSlice` views materialize the identical ``(key, float)`` tuples,
+  pickling ships plain events), checked with Hypothesis over arbitrary
+  streams,
+* bitwise equivalence — every engine × strategy combination produces
+  bit-identical pane results with the columnar path on (default) and off
+  (``REPRO_NO_COLUMNAR=1``, the per-item shim),
+* checkpoint/resume over batched sources — resuming a chunked columnar run
+  from any pane checkpoint reproduces the uninterrupted panes exactly,
+* fallback surfacing — batches the codec cannot represent (non-float
+  payloads, unhashable keys) and queries with custom projections report a
+  ``columnar_fallback`` reason instead of silently degrading.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import (
+    ColumnSlice,
+    RecordBatch,
+    _FloatRun,
+    _StratumMembers,
+    item_key,
+    item_value,
+)
+from repro.runtime import (
+    CheckpointPolicy,
+    CheckpointStore,
+    ListSource,
+    StreamQuery,
+    SystemConfig,
+    WindowConfig,
+    build_plan,
+    execute_plan,
+)
+from repro.system import NativeStreamApproxSystem
+from repro.system import WindowConfig as SysWindow
+from repro.workloads.netflow import flow_bytes, flow_protocol, netflow_stream
+from repro.workloads.synthetic import stream_by_rates
+
+np = pytest.importorskip("numpy")
+
+events_strategy = st.lists(
+    st.tuples(
+        st.floats(0, 100, allow_nan=False),
+        st.tuples(
+            st.sampled_from("abc"),
+            st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+    ),
+    min_size=0,
+    max_size=80,
+).map(lambda evs: sorted(evs, key=lambda e: e[0]))
+
+
+# ---------------------------------------------------------------------------
+# Round trip: batch ⇄ events
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(events=events_strategy)
+    def test_batch_is_its_event_list(self, events):
+        batch = RecordBatch(events)
+        assert list(batch) == events
+        assert list(batch.iter_items()) == events
+        assert batch.columnar_reason is None
+        assert batch.has_columns
+        n = len(events)
+        assert batch.ts.shape == (n,)
+        view = batch.item_slice(0, n)
+        assert view.materialize() == [item for _ts, item in events]
+
+    @settings(max_examples=50, deadline=None)
+    @given(events=events_strategy, data=st.data())
+    def test_column_slice_views_match_list_slices(self, events, data):
+        batch = RecordBatch(events)
+        n = len(events)
+        lo = data.draw(st.integers(0, n))
+        hi = data.draw(st.integers(lo, n))
+        step = data.draw(st.integers(1, 4))
+        items = [item for _ts, item in events]
+        view = batch.item_slice(lo, hi)
+        assert list(view) == items[lo:hi]
+        strided = view[::step]
+        assert isinstance(strided, ColumnSlice)
+        assert list(strided) == items[lo:hi][::step]
+        for i in range(len(view)):
+            materialized = view[i]
+            assert materialized == items[lo + i]
+            assert type(materialized[1]) is float
+
+    @settings(max_examples=25, deadline=None)
+    @given(events=events_strategy)
+    def test_pickle_round_trip(self, events):
+        batch = RecordBatch(events)
+        clone = pickle.loads(pickle.dumps(batch))
+        assert isinstance(clone, RecordBatch)
+        assert list(clone) == events
+        if events:
+            view = batch.item_slice(0, len(events))
+            assert pickle.loads(pickle.dumps(view)) == view.materialize()
+
+    def test_take_gathers_materialized_items(self):
+        events = [(float(i), ("ab"[i % 2], float(i) * 1.5)) for i in range(10)]
+        view = RecordBatch(events).item_slice(0, 10)
+        positions = np.asarray([7, 0, 3])
+        assert view.take(positions) == [view[7], view[0], view[3]]
+
+    def test_float_run_and_members_interop(self):
+        values = np.asarray([1.0, 2.0, 3.0])
+        run = _FloatRun(values)
+        assert list(run) == [1.0, 2.0, 3.0]
+        assert run[1] == 2.0
+        assert run.take(np.asarray([2, 0])) == [3.0, 1.0]
+
+        members = _StratumMembers("k", values)
+        assert list(members) == [("k", 1.0), ("k", 2.0), ("k", 3.0)]
+        assert members.value_list() == [1.0, 2.0, 3.0]
+        assert members == [("k", 1.0), ("k", 2.0), ("k", 3.0)]
+        # Merge interop (sample merging concatenates member sequences).
+        assert members + (("k", 9.0),) == (
+            ("k", 1.0), ("k", 2.0), ("k", 3.0), ("k", 9.0),
+        )
+        # Serialization ships plain tuples.
+        assert pickle.loads(pickle.dumps(members)) == tuple(members)
+
+
+# ---------------------------------------------------------------------------
+# Columnar ≡ per-item shim, bitwise, across engines × strategies
+# ---------------------------------------------------------------------------
+
+
+def _columnar_stream():
+    return stream_by_rates({"A": 600, "B": 150, "C": 15}, duration=12, seed=9)
+
+
+def _plan(stream, engine, strategy, **config_overrides):
+    query = StreamQuery(
+        key_fn=item_key, value_fn=item_value, kind="mean", name="records-ab"
+    )
+    config = SystemConfig(sampling_fraction=0.5, seed=31, **config_overrides)
+    return build_plan(
+        query, WindowConfig(6.0, 3.0), config,
+        engine=engine, strategy=strategy,
+        source=ListSource(stream), name="records-ab",
+    )
+
+
+def _fingerprint(results):
+    return [
+        (
+            r.end,
+            r.estimate,
+            r.exact,
+            r.sampled_items,
+            r.total_items,
+            r.error.margin if r.error else None,
+            sorted(r.groups.items()),
+        )
+        for r in results
+    ]
+
+
+# Every engine × strategy combination the planner accepts.
+_COMBOS = [
+    ("batched", "none"),
+    ("batched", "srs"),
+    ("batched", "sts"),
+    ("batched", "oasrs"),
+    ("pipelined", "none"),
+    ("pipelined", "oasrs"),
+    ("direct", "oasrs"),
+]
+
+
+@pytest.mark.parametrize("engine,strategy", _COMBOS)
+def test_columnar_matches_shim_bitwise(engine, strategy):
+    stream = _columnar_stream()
+    columnar, _ = execute_plan(_plan(stream, engine, strategy, chunk_size=256))
+    os.environ["REPRO_NO_COLUMNAR"] = "1"
+    try:
+        shim, _ = execute_plan(_plan(stream, engine, strategy, chunk_size=256))
+    finally:
+        os.environ.pop("REPRO_NO_COLUMNAR", None)
+    assert _fingerprint(columnar) == _fingerprint(shim)
+
+
+def test_columnar_matches_shim_at_small_chunks():
+    # chunk=64 exercises the small-chunk Python-grouping route of
+    # `OASRSSampler._process_columns`; chunk=1 the single-offer route.
+    stream = _columnar_stream()
+    for chunk in (1, 64):
+        columnar, _ = execute_plan(_plan(stream, "direct", "oasrs", chunk_size=chunk))
+        os.environ["REPRO_NO_COLUMNAR"] = "1"
+        try:
+            shim, _ = execute_plan(_plan(stream, "direct", "oasrs", chunk_size=chunk))
+        finally:
+            os.environ.pop("REPRO_NO_COLUMNAR", None)
+        assert _fingerprint(columnar) == _fingerprint(shim), f"chunk={chunk}"
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume over batched sources
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**16), chunk=st.sampled_from([64, 256, 1024]))
+def test_chunked_columnar_resume_matches_uninterrupted(seed, chunk):
+    stream = stream_by_rates({"A": 400, "B": 100}, duration=12, seed=seed % 997)
+    assert isinstance(stream, RecordBatch) and stream.has_columns
+
+    def plan(**overrides):
+        return _plan(stream, "direct", "oasrs", chunk_size=chunk, **overrides)
+
+    base, _ = execute_plan(plan())
+    store = CheckpointStore()
+    observed, _ = execute_plan(
+        plan(checkpoint=CheckpointPolicy(every=1)), checkpoint_store=store
+    )
+    assert _fingerprint(observed) == _fingerprint(base)
+    for index in store.indices():
+        resumed, _ = execute_plan(
+            plan(checkpoint=CheckpointPolicy(every=1)),
+            resume_from=store.get(index),
+        )
+        assert _fingerprint(resumed) == _fingerprint(base)
+
+
+# ---------------------------------------------------------------------------
+# Fallback surfacing
+# ---------------------------------------------------------------------------
+
+
+class TestFallbackSurfacing:
+    def test_non_tuple_items_record_reason(self):
+        batch = RecordBatch([(0.0, "not-a-tuple"), (1.0, "still-not")])
+        assert batch.ts is not None
+        assert not batch.has_columns
+        assert "not plain (key, value) tuples" in batch.columnar_reason
+
+    def test_non_float_payloads_record_reason(self):
+        batch = RecordBatch([(0.0, ("a", 1)), (1.0, ("b", 2))])
+        assert not batch.has_columns
+        assert "value is not a plain float" in batch.columnar_reason
+        with pytest.raises(ValueError):
+            batch.item_slice(0, 2)
+
+    def test_unhashable_keys_record_reason(self):
+        batch = RecordBatch([(0.0, (["un", "hashable"], 1.0))])
+        assert not batch.has_columns
+        assert "unhashable keys" in batch.columnar_reason
+
+    def test_netflow_payloads_surface_fallback_on_report(self):
+        # FlowRecord payloads are not (key, float) tuples: the run completes
+        # on the per-item shim and the report says why.
+        stream = netflow_stream(total_rate=400, duration=6, seed=5)
+        query = StreamQuery(
+            key_fn=flow_protocol, value_fn=flow_bytes, kind="sum", name="nf"
+        )
+        config = SystemConfig(sampling_fraction=0.6, seed=3, chunk_size=256)
+        report = NativeStreamApproxSystem(query, SysWindow(3.0, 3.0), config).run(
+            stream
+        )
+        assert report.columnar_fallback is not None
+        assert report.results, "shim run still produces panes"
+
+    def test_custom_projections_surface_fallback(self):
+        stream = _columnar_stream()
+        query = StreamQuery(
+            key_fn=lambda it: it[0], value_fn=lambda it: it[1],
+            kind="mean", name="custom",
+        )
+        config = SystemConfig(sampling_fraction=0.5, seed=31, chunk_size=256)
+        report = NativeStreamApproxSystem(query, SysWindow(6.0, 3.0), config).run(
+            stream
+        )
+        assert "custom key/value projections" in report.columnar_fallback
+
+    def test_canonical_projections_take_columnar_path(self):
+        stream = _columnar_stream()
+        query = StreamQuery(
+            key_fn=item_key, value_fn=item_value, kind="mean", name="canon"
+        )
+        config = SystemConfig(sampling_fraction=0.5, seed=31, chunk_size=256)
+        report = NativeStreamApproxSystem(query, SysWindow(6.0, 3.0), config).run(
+            stream
+        )
+        assert report.columnar_fallback is None
