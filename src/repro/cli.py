@@ -397,6 +397,51 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant query service on a TCP endpoint until ^C."""
+    import asyncio
+
+    from .service import QueryService, TenantScheduler
+
+    tenants = []
+    for spec in args.tenant or ["default"]:
+        name, _, budget = spec.partition(":")
+        if not name:
+            print(f"invalid --tenant {spec!r}: expected NAME[:BUDGET]",
+                  file=sys.stderr)
+            return 2
+        try:
+            tenants.append((name, float(budget) if budget else 1.0))
+        except ValueError:
+            print(f"invalid --tenant budget in {spec!r}", file=sys.stderr)
+            return 2
+
+    async def run() -> None:
+        service = QueryService(
+            scheduler=TenantScheduler(capacity=args.capacity),
+            max_workers=args.workers,
+        )
+        for name, budget in tenants:
+            service.register_tenant(name, budget)
+        host, port = await service.serve_tcp(args.host, args.port)
+        print(f"serving on {host}:{port} "
+              f"(tenants: {', '.join(f'{n}:{b:g}' for n, b in tenants)}; "
+              f"capacity {args.capacity:g}); newline-JSON protocol, "
+              "Ctrl-C to stop", flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="StreamApprox reproduction experiments"
@@ -472,6 +517,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metric", choices=("throughput", "accuracy_loss", "latency"),
                        default="throughput")
     sweep.set_defaults(func=cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant approximate-query service (TCP, "
+             "newline-JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7071)
+    serve.add_argument("--tenant", action="append", metavar="NAME[:BUDGET]",
+                       default=None,
+                       help="register a tenant with a sample-budget fraction "
+                            "in (0, 1] (default 1.0); repeatable; defaults to "
+                            "a single 'default:1.0' tenant")
+    serve.add_argument("--capacity", type=float, default=1_000_000.0,
+                       help="global in-flight sample-cost capacity shared "
+                            "fair-share across tenants")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query-execution worker threads")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -33,6 +33,8 @@ __all__ = [
     "approximate_quantile",
     "approximate_median",
     "QuantileEstimate",
+    "DKWBound",
+    "quantile_bound",
     "HeavyHitter",
     "heavy_hitters",
 ]
@@ -54,6 +56,79 @@ class QuantileEstimate:
     upper: float
     confidence: float
     effective_n: float
+
+
+@dataclass(frozen=True)
+class DKWBound:
+    """A `QuantileEstimate`'s interval with the `ErrorBound` surface.
+
+    Quantiles are not linear queries, so their intervals come from the
+    DKW inequality rather than Equations 6/9 — and a DKW bracket is
+    *asymmetric*: ``lower``/``upper`` are sampled support values, not
+    ``value ± margin``.  This adapter exposes the bracket through the same
+    duck-typed surface every `repro.core.error.ErrorBound` consumer reads
+    (``margin``, ``interval``, ``relative_margin``, ``covers``), so pane
+    results, the budget control loop, and report formatting work unchanged:
+
+    * ``interval`` is the true asymmetric ``(lower, upper)`` bracket,
+    * ``margin`` is the wider half-width ``max(value − lower,
+      upper − value)`` — conservative, so an `AccuracyBudget` targeting a
+      margin drives the sample size from the worse side,
+    * ``variance``/``stddev`` are back-derived from that margin
+      (distribution-free intervals have no sampling variance of their
+      own; consumers that sum variances get a conservative stand-in).
+    """
+
+    value: float
+    lower: float
+    upper: float
+    confidence: float
+    q: float
+    effective_n: float
+
+    @property
+    def margin(self) -> float:
+        return max(self.value - self.lower, self.upper - self.value)
+
+    @property
+    def variance(self) -> float:
+        return self.margin ** 2
+
+    @property
+    def stddev(self) -> float:
+        return self.margin
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.lower, self.upper)
+
+    @property
+    def relative_margin(self) -> float:
+        """Margin as a fraction of the estimate (inf when the value is 0)."""
+        if self.value == 0:
+            return math.inf if self.margin > 0 else 0.0
+        return abs(self.margin / self.value)
+
+    def covers(self, truth: float) -> bool:
+        return self.lower <= truth <= self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{self.value:.6g} [{self.lower:.6g}, {self.upper:.6g}] "
+            f"(q={self.q:g}, {self.confidence:.1%}, DKW)"
+        )
+
+
+def quantile_bound(estimate: QuantileEstimate) -> DKWBound:
+    """Wrap a `QuantileEstimate` as the pane result's error bound."""
+    return DKWBound(
+        value=estimate.value,
+        lower=estimate.lower,
+        upper=estimate.upper,
+        confidence=estimate.confidence,
+        q=estimate.q,
+        effective_n=estimate.effective_n,
+    )
 
 
 def _weighted_points(

@@ -404,6 +404,49 @@ class RecordBatch(list):
         """Whether the full (codes, values) item columns are available."""
         return self._columns()[1] is not None
 
+    def project(self, key_fn, value_fn) -> Optional["RecordBatch"]:
+        """Intern generic projections: a canonical-shaped view of this stream.
+
+        Applies ``key_fn``/``value_fn`` to every item exactly once and
+        returns a `RecordBatch` of ``(ts, (key, value))`` events — the shape
+        whose columns the vectorized sampling path consumes.  Sampling over
+        the projected batch is decision-for-decision identical to the
+        per-item shim over the original: the RNG stream depends only on
+        stratum membership order and counts (unchanged — the key sequence is
+        the same), and every estimator reads items exclusively through the
+        projections (the projected value *is* the float the shim would have
+        extracted).
+
+        Returns None when the projections cannot be interned — a projection
+        raises, a value is not a plain ``float``, or a key is unhashable —
+        in which case callers stay on the per-item shim.  The result is
+        cached per ``(key_fn, value_fn)`` identity, so repeated runs over a
+        shared stream (module-level query functions, the serving layer's
+        `repro.service.hub.SourceHub`) pay the projection pass once.
+        """
+        cache = self.__dict__.setdefault("_projections", {})
+        token = (key_fn, value_fn)
+        if token in cache:
+            return cache[token]
+        projected: Optional[RecordBatch] = None
+        events: Optional[List[Tuple[float, Tuple[Hashable, float]]]] = []
+        try:
+            append = events.append
+            for ts, item in self:
+                value = value_fn(item)
+                if type(value) is not float:
+                    events = None
+                    break
+                append((ts, (key_fn(item), value)))
+        except Exception:
+            events = None
+        if events is not None:
+            batch = RecordBatch(events)
+            if batch.has_columns:
+                projected = batch
+        cache[token] = projected
+        return projected
+
     # -- views and the per-item shim ----------------------------------------
 
     def item_slice(self, lo: int, hi: int) -> ColumnSlice:

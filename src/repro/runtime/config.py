@@ -56,19 +56,33 @@ class StreamQuery:
 
     key_fn: Callable[[object], Hashable] = item_key
     value_fn: Callable[[object], float] = item_value
-    kind: str = "mean"  # "mean" | "sum"
+    kind: str = "mean"  # "mean" | "sum" | "quantile"
     group_fn: Optional[Callable[[object], Hashable]] = None
     name: str = "query"
+    #: The quantile rank for ``kind="quantile"`` (0.5 = median); ignored by
+    #: the linear kinds.  Quantile panes estimate the stream's q-quantile
+    #: from the weighted sample (`repro.core.quantiles.approximate_quantile`)
+    #: and carry a distribution-free DKW interval as their error bound.
+    q: float = 0.5
 
     def __post_init__(self) -> None:
-        if self.kind not in ("mean", "sum"):
-            raise ValueError(f"query kind must be 'mean' or 'sum', got {self.kind!r}")
+        if self.kind not in ("mean", "sum", "quantile"):
+            raise ValueError(
+                f"query kind must be 'mean', 'sum', or 'quantile', got {self.kind!r}"
+            )
         if not callable(self.key_fn):
             raise ValueError("key_fn must be callable (item -> stratum key)")
         if not callable(self.value_fn):
             raise ValueError("value_fn must be callable (item -> numeric value)")
         if self.group_fn is not None and not callable(self.group_fn):
             raise ValueError("group_fn must be callable (item -> group) when given")
+        if not 0 < self.q < 1:
+            raise ValueError(f"quantile rank q must be in (0, 1), got {self.q}")
+        if self.kind == "quantile" and self.group_fn is not None:
+            raise ValueError(
+                "group_fn is not supported with kind 'quantile'; per-group "
+                "order statistics have no pooled estimation path"
+            )
 
 
 @dataclass(frozen=True)

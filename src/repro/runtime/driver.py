@@ -43,6 +43,7 @@ import os
 import time
 from bisect import bisect_left
 from collections import deque
+from dataclasses import replace
 from operator import itemgetter
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -195,6 +196,51 @@ def _note_columnar(run_info: Optional[dict], reason: Optional[str]) -> None:
         run_info["columnar_fallback"] = reason
 
 
+def _intern_projections(stream, plan: ExecutionPlan):
+    """Intern custom query projections so the run takes the columnar path.
+
+    Custom ``key_fn``/``value_fn`` callables (the Spark/Flink baselines'
+    ``flow_protocol``-style accessors) historically forced the per-item
+    shim.  When the stream is a `RecordBatch`, this applies both
+    projections once up front (`RecordBatch.project`, cached on the batch)
+    and rewrites the plan to the canonical projections over the projected
+    events — after which every driver, sampler, and estimator sees a plain
+    ``(hashable, float)`` columnar stream.  Sampling decisions and
+    estimates are bitwise identical: the RNG stream depends only on
+    stratum membership order and counts, both unchanged, and the floats
+    aggregated are the very objects the shim's per-item calls would have
+    produced.
+
+    Returns ``(stream, plan)`` untouched whenever interning cannot apply:
+    canonical projections already (nothing to do), the columnar path is
+    off (``REPRO_NO_COLUMNAR`` / no NumPy), a ``group_fn`` other than the
+    key projection is set (a third independent projection the two interned
+    columns cannot express), or the projections themselves are not
+    columnar-representable (`RecordBatch.project` returned None) — in
+    which case the per-item shim proceeds exactly as before, with
+    ``columnar_fallback`` surfacing the reason.
+    """
+    query = plan.query
+    if query.key_fn is item_key and query.value_fn is item_value:
+        return stream, plan
+    if _np is None or os.environ.get("REPRO_NO_COLUMNAR"):
+        return stream, plan
+    if not isinstance(stream, RecordBatch):
+        return stream, plan
+    if query.group_fn is not None and query.group_fn is not query.key_fn:
+        return stream, plan
+    projected = stream.project(query.key_fn, query.value_fn)
+    if projected is None:
+        return stream, plan
+    interned = replace(
+        query,
+        key_fn=item_key,
+        value_fn=item_value,
+        group_fn=item_key if query.group_fn is not None else None,
+    )
+    return projected, replace(plan, query=interned)
+
+
 def _checkpoint_setup(
     plan: ExecutionPlan, checkpoint_store: Optional[CheckpointStore]
 ) -> Tuple[Optional[CheckpointStore], int]:
@@ -243,6 +289,7 @@ def execute_plan(
     checkpoint_store: Optional[CheckpointStore] = None,
     resume_from: Optional[PaneCheckpoint] = None,
     run_info: Optional[dict] = None,
+    on_pane: Optional[Callable[[WindowResult], None]] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Run a plan on its engine; returns (pane results, charged cluster).
 
@@ -260,7 +307,14 @@ def execute_plan(
     ``run_info``, when given, collects run diagnostics the result tuple
     has no room for — currently ``"parallel_fallback"``, the reason a
     ``parallelism > 1`` plan degraded to in-process sampling (absent when
-    the worker pool stayed healthy).
+    the worker pool stayed healthy), and ``"columnar_fallback"``.
+
+    ``on_pane``, when given, is called with each `WindowResult` the moment
+    its pane closes — the streaming hook the serving layer
+    (`repro.service`) uses to push per-pane answers to tenants while the
+    run is still in flight.  Resumed runs do not re-deliver panes restored
+    from the checkpoint.  The callback runs inline on the driver's thread;
+    it must not block.
     """
     if plan.engine == "batched":
         return run_batched(
@@ -270,6 +324,7 @@ def execute_plan(
             checkpoint_store=checkpoint_store,
             resume_from=resume_from,
             run_info=run_info,
+            on_pane=on_pane,
         )
     if handle_batch is not None:
         raise PlanError("handle_batch overrides only apply to the batched engine")
@@ -280,6 +335,7 @@ def execute_plan(
             checkpoint_store=checkpoint_store,
             resume_from=resume_from,
             run_info=run_info,
+            on_pane=on_pane,
         )
     if plan.engine == "direct":
         results, cluster, _sampling_seconds = run_direct(
@@ -288,6 +344,7 @@ def execute_plan(
             checkpoint_store=checkpoint_store,
             resume_from=resume_from,
             run_info=run_info,
+            on_pane=on_pane,
         )
         return results, cluster
     raise PlanError(f"unknown engine {plan.engine!r}")
@@ -321,6 +378,7 @@ def run_batched(
     checkpoint_store: Optional[CheckpointStore] = None,
     resume_from: Optional[PaneCheckpoint] = None,
     run_info: Optional[dict] = None,
+    on_pane: Optional[Callable[[WindowResult], None]] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Micro-batch loop: per-batch sampling, per-slide pane estimation.
 
@@ -336,6 +394,10 @@ def run_batched(
     at ``pane_end`` over the unconsumed stream suffix).
     """
     stream = _record_stream(plan.source)
+    if handle_batch is None:
+        # An ad-hoc handle_batch observes raw items; only strategy-driven
+        # runs may substitute the projected stream.
+        stream, plan = _intern_projections(stream, plan)
     config, window, query = plan.config, plan.window, plan.query
     ctx = StreamingContext(
         batch_interval=config.batch_interval,
@@ -439,6 +501,8 @@ def run_batched(
                         recovery=recovery,
                     )
                 )
+                if on_pane is not None:
+                    on_pane(results[-1])
                 pane_index += 1
                 if store is not None and pane_index % every == 0:
                     # ``consumed`` counts only items in yielded batches; the
@@ -483,6 +547,7 @@ def run_pipelined(
     checkpoint_store: Optional[CheckpointStore] = None,
     resume_from: Optional[PaneCheckpoint] = None,
     run_info: Optional[dict] = None,
+    on_pane: Optional[Callable[[WindowResult], None]] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster]:
     """Operator pipeline: per-item (or chunked) flow, panes at watermarks.
 
@@ -496,6 +561,7 @@ def run_pipelined(
     pane boundary over the unconsumed stream suffix.
     """
     stream = _record_stream(plan.source)
+    stream, plan = _intern_projections(stream, plan)
     config, window, query = plan.config, plan.window, plan.query
     cluster = SimulatedCluster(
         nodes=config.nodes, cores_per_node=config.cores_per_node, costs=config.costs
@@ -564,7 +630,7 @@ def run_pipelined(
                 return value
 
             state_hook = None
-            if store is not None:
+            if store is not None or on_pane is not None:
 
                 def state_hook(ts, recent):
                     if ts > last_ts:
@@ -583,7 +649,9 @@ def run_pipelined(
                             recovery=recovery,
                         )
                     )
-                    if pane_meta["index"] % every:
+                    if on_pane is not None:
+                        on_pane(pane_meta["emitted"][-1])
+                    if store is None or pane_meta["index"] % every:
                         return
                     store.save(
                         PaneCheckpoint(
@@ -639,7 +707,7 @@ def run_pipelined(
             def aggregate_exact(pane_items):
                 sample = full_weight_sample([item for _ts, item in pane_items], query.key_fn)
                 estimate, bound, groups = estimate_pane(sample, query, confidence)
-                if store is not None:
+                if store is not None or on_pane is not None:
                     # Sliding-window panes fire at consecutive slide multiples
                     # from the operator's start, so the pane count recovers the
                     # absolute fire time the aggregate callback never sees.
@@ -657,7 +725,9 @@ def run_pipelined(
                                 total_items=sample.total_items,
                             )
                         )
-                        if pane_meta["index"] % every == 0:
+                        if on_pane is not None:
+                            on_pane(pane_meta["emitted"][-1])
+                        if store is not None and pane_meta["index"] % every == 0:
                             store.save(
                                 PaneCheckpoint(
                                     plan_name=plan.name,
@@ -806,6 +876,7 @@ def run_direct(
     checkpoint_store: Optional[CheckpointStore] = None,
     resume_from: Optional[PaneCheckpoint] = None,
     run_info: Optional[dict] = None,
+    on_pane: Optional[Callable[[WindowResult], None]] = None,
 ) -> Tuple[List[WindowResult], SimulatedCluster, float]:
     """Interval loop over the raw sampling stack; no engine in the hot path.
 
@@ -826,6 +897,7 @@ def run_direct(
     resume restarts the interval loop at the checkpointed boundary.
     """
     stream = _record_stream(plan.source)
+    stream, plan = _intern_projections(stream, plan)
     config, window, query = plan.config, plan.window, plan.query
     cluster = SimulatedCluster(
         nodes=config.nodes, cores_per_node=config.cores_per_node, costs=config.costs
@@ -933,9 +1005,11 @@ def run_direct(
                 sample = sampler.close_interval()
             sampling_seconds += time.perf_counter() - sampling_started
             cluster.process_items(sample.total_items)
-            if query.group_fn is None:
+            if query.group_fn is None and query.kind != "quantile":
                 # Moment path: pool per-interval sufficient statistics — no
-                # per-pane re-scan of the sampled items.
+                # per-pane re-scan of the sampled items.  Quantiles need the
+                # kept values themselves (an order statistic has no pooled
+                # sufficient statistics), so they take the merge path below.
                 history.append(_interval_moments(sample, query.value_fn))
                 strata = _pane_stats(history)
                 population = sum(s.c for s in strata)
@@ -980,6 +1054,8 @@ def run_direct(
                     recovery=recovery,
                 )
             )
+            if on_pane is not None:
+                on_pane(results[-1])
             pane_index += 1
             if store is not None and pane_index % every == 0:
                 store.save(

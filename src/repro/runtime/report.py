@@ -191,7 +191,14 @@ def estimate_pane_stats(
     The extra `StratumStats` list is what the budget control loop feeds
     back into `VirtualCostFunction.observe` — variance and count per
     stratum, exactly the Equation-9 inputs.
+
+    ``kind="quantile"`` panes estimate the stream's q-quantile with a
+    distribution-free DKW interval (`repro.core.quantiles`) as the error
+    bound; the stratum statistics still come from the mean estimator so
+    the budget loop keeps its Equation-9 inputs.
     """
+    if query.kind == "quantile":
+        return _estimate_quantile_pane(sample, query, confidence)
     if query.kind == "sum":
         result = approximate_sum(sample, query.value_fn)
     else:
@@ -204,6 +211,39 @@ def estimate_pane_stats(
         else:
             groups = grouped_mean(sample, query.group_fn, query.value_fn)
     return result.value, bound, groups, list(result.strata)
+
+
+def _estimate_quantile_pane(
+    sample: WeightedSample,
+    query: StreamQuery,
+    confidence: float,
+) -> Tuple[float, ErrorBound, Dict[Hashable, float], List[StratumStats]]:
+    """Quantile pane: DKW-bracketed order statistic + Eq.-9 stratum stats."""
+    from ..core.quantiles import approximate_quantile, quantile_bound
+
+    stats = approximate_mean(sample, query.value_fn)
+    strata = list(stats.strata)
+    if sample.total_items == 0:
+        empty = ErrorBound(value=0.0, variance=0.0, confidence=confidence, margin=0.0)
+        return 0.0, empty, {}, strata
+    estimate = approximate_quantile(
+        sample, query.q, value_fn=query.value_fn, confidence=confidence
+    )
+    return estimate.value, quantile_bound(estimate), {}, strata
+
+
+def _exact_quantile(values: List[float], q: float) -> float:
+    """Empirical q-quantile: smallest value with cumulative count ≥ q·n.
+
+    The same convention as `repro.core.quantiles.approximate_quantile` at
+    unit weights, so a full-weight (strategy ``none``) run reproduces the
+    ground truth exactly.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(index, len(ordered) - 1)]
 
 
 def exact_panes(
@@ -223,7 +263,12 @@ def exact_panes(
         items = pane.items
         values = [query.value_fn(x) for x in items]
         total = math.fsum(values)
-        exact = total if query.kind == "sum" else (total / len(values) if values else 0.0)
+        if query.kind == "sum":
+            exact = total
+        elif query.kind == "quantile":
+            exact = _exact_quantile(values, query.q)
+        else:
+            exact = total / len(values) if values else 0.0
         exact_groups: Dict[Hashable, float] = {}
         if query.group_fn is not None:
             sums: Dict[Hashable, float] = {}

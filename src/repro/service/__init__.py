@@ -1,0 +1,39 @@
+"""The multi-tenant approximate-query serving layer.
+
+The paper's systems answer one budgeted query over one stream; this
+package is the front door for *many concurrent* budgeted queries over
+*shared* streams — the ROADMAP's millions-of-users story:
+
+* `QueryService` — long-running asyncio service: in-process async
+  submissions plus a newline-JSON TCP endpoint, each admitted query
+  compiled through `repro.runtime.build_plan` and run on its driver with
+  per-pane results streamed back as they land.
+* `TenantScheduler` — per-tenant ratio-accounting admission
+  (``observed * budget - sampled >= cost``) and fair-share arbitration of
+  a global in-flight sample capacity.
+* `SourceHub` — named shared sources; N tenants over one stream ingest
+  and columnarize it once.
+
+See ``docs/architecture.md`` (service section) for the full picture.
+"""
+
+from .hub import SourceHub
+from .scheduler import (
+    AdmissionRejected,
+    RejectionReason,
+    TenantAccount,
+    TenantScheduler,
+)
+from .service import QueryAnswer, QueryHandle, QueryService, QuerySubmission
+
+__all__ = [
+    "AdmissionRejected",
+    "QueryAnswer",
+    "QueryHandle",
+    "QueryService",
+    "QuerySubmission",
+    "RejectionReason",
+    "SourceHub",
+    "TenantAccount",
+    "TenantScheduler",
+]

@@ -1,0 +1,165 @@
+"""Shared-source multiplexing: N tenants over one stream ingest it once.
+
+Every query plan needs a `repro.runtime.source.PlanSource`.  Naively, ten
+tenants querying the same broker topic would drain it ten times and build
+ten copies of the record columns; the `SourceHub` gives each *named*
+source one materialization — a single `ListSource` wrapping a single
+`RecordBatch`, whose lazily built NumPy columns (and interned-projection
+caches) are therefore shared by every plan that references the name.
+
+Three registration shapes cover the deployment:
+
+* ``register(name, source_or_stream, query=...)`` — an explicit source or
+  in-memory stream, optionally with the source's default `StreamQuery`
+  (tenants may override per submission).
+* ``register_topic(name, broker, topic, ...)`` — a broker topic; drained
+  once, at first resolve.  A non-rewinding topic is therefore a snapshot:
+  later appends need a re-register.
+* workload specs — a dict like ``{"workload": "gaussian", "rate": 200,
+  "duration": 30, "seed": 7}`` resolves through the CLI's workload table
+  and is cached under its canonical parameters, so two tenants asking for
+  the same synthetic stream share one generated instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..runtime.config import StreamQuery
+from ..runtime.source import ListSource, PlanSource
+from .scheduler import AdmissionRejected, RejectionReason
+
+__all__ = ["SourceHub"]
+
+#: A submission's source reference: a registered name or a workload spec.
+SourceRef = Union[str, Dict[str, object]]
+
+
+def _default_workload_factory(name: str, rate: int, duration: int, seed: int):
+    # Imported lazily: repro.cli imports repro.service for the serve
+    # subcommand, so a module-level import here would be circular.
+    from ..cli import make_workload
+
+    return make_workload(name, rate, duration, seed)
+
+
+class SourceHub:
+    """Registry resolving source references to shared, materialized sources.
+
+    Example
+    -------
+    >>> hub = SourceHub()
+    >>> hub.register("ticks", [(0.0, ("A", 1.0)), (1.0, ("B", 2.0))])
+    >>> source, _query = hub.resolve("ticks")
+    >>> len(source.events())
+    2
+    """
+
+    def __init__(
+        self,
+        workload_factory: Optional[Callable[[str, int, int, int], tuple]] = None,
+    ) -> None:
+        self._sources: Dict[str, ListSource] = {}
+        self._queries: Dict[str, Optional[StreamQuery]] = {}
+        self._pending: Dict[str, PlanSource] = {}
+        self._workload_factory = workload_factory or _default_workload_factory
+        #: How many times a stream was actually ingested/materialized —
+        #: the multiplexing tests assert this stays at one per source.
+        self.materializations = 0
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        source,
+        query: Optional[StreamQuery] = None,
+    ) -> None:
+        """Register a stream / source under ``name`` (replacing any prior).
+
+        A `ListSource` (or in-memory stream, which is wrapped in one) is
+        materialized immediately; other `PlanSource`s lazily, at first
+        resolve — so registering a topic is free until someone queries it.
+        """
+        self._queries[name] = query
+        self._pending.pop(name, None)
+        self._sources.pop(name, None)
+        if isinstance(source, ListSource):
+            self._sources[name] = source
+            self.materializations += 1
+        elif isinstance(source, PlanSource):
+            self._pending[name] = source
+        else:
+            self._sources[name] = ListSource(source)
+            self.materializations += 1
+
+    def register_topic(
+        self,
+        name: str,
+        broker,
+        topic: str,
+        query: Optional[StreamQuery] = None,
+        **topic_kwargs,
+    ) -> None:
+        """Register a broker topic; drained once, at first resolve."""
+        from ..runtime.source import TopicSource
+
+        self.register(name, TopicSource(broker, topic, **topic_kwargs), query=query)
+
+    @property
+    def names(self):
+        return sorted(set(self._sources) | set(self._pending))
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, ref: SourceRef) -> Tuple[ListSource, Optional[StreamQuery]]:
+        """A submission's source reference → (shared source, default query).
+
+        Raises `AdmissionRejected` (``unknown-source``) for names never
+        registered or workload specs the factory does not recognize.
+        """
+        if isinstance(ref, dict):
+            return self._resolve_workload(ref)
+        if ref in self._sources:
+            return self._sources[ref], self._queries.get(ref)
+        pending = self._pending.pop(ref, None)
+        if pending is not None:
+            # Materialize once: drain the source into a shared ListSource so
+            # every later resolve reuses the same cached-column batch.
+            source = ListSource(pending.events())
+            self.materializations += 1
+            self._sources[ref] = source
+            return source, self._queries.get(ref)
+        raise AdmissionRejected(
+            RejectionReason.UNKNOWN_SOURCE,
+            f"no source named {ref!r}; registered: {self.names}",
+        )
+
+    def _resolve_workload(
+        self, spec: Dict[str, object]
+    ) -> Tuple[ListSource, Optional[StreamQuery]]:
+        try:
+            workload = str(spec["workload"])
+        except KeyError:
+            raise AdmissionRejected(
+                RejectionReason.UNKNOWN_SOURCE,
+                f"workload spec needs a 'workload' key, got {sorted(spec)}",
+            ) from None
+        rate = int(spec.get("rate", 200))
+        duration = int(spec.get("duration", 30))
+        seed = int(spec.get("seed", 42))
+        key = f"workload:{workload}:rate={rate}:duration={duration}:seed={seed}"
+        if key in self._sources:
+            return self._sources[key], self._queries.get(key)
+        try:
+            stream, query = self._workload_factory(workload, rate, duration, seed)
+        except (KeyError, ValueError) as exc:
+            raise AdmissionRejected(
+                RejectionReason.UNKNOWN_SOURCE,
+                f"unknown workload {workload!r}: {exc}",
+            ) from None
+        source = ListSource(stream)
+        self.materializations += 1
+        self._sources[key] = source
+        self._queries[key] = query
+        return source, query

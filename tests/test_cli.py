@@ -30,6 +30,22 @@ class TestParser:
         assert args.workload == "gaussian"
         assert len(args.systems) == 6
 
+    def test_serve_defaults_and_tenants(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 7071
+        assert args.tenant is None  # cmd_serve substitutes a default tenant
+        args = build_parser().parse_args(
+            ["serve", "--tenant", "alice", "--tenant", "bob:0.5",
+             "--capacity", "5000", "--workers", "2", "--port", "0"]
+        )
+        assert args.tenant == ["alice", "bob:0.5"]
+        assert args.capacity == 5000.0 and args.workers == 2
+
+    def test_serve_rejects_bad_tenant_spec(self, capsys):
+        code = main(["serve", "--port", "0", "--tenant", "bob:lots"])
+        assert code == 2
+        assert "budget" in capsys.readouterr().err
+
 
 class TestMakeWorkload:
     @pytest.mark.parametrize("name", ["gaussian", "drift", "netflow", "taxi"])

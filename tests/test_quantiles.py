@@ -139,3 +139,98 @@ class TestHeavyHitters:
         assert top.share == pytest.approx(0.9, abs=0.1)
         lo, hi = top.interval
         assert lo <= top.estimated_count <= hi
+
+
+class TestDKWBound:
+    def _bound(self, values, q=0.5):
+        from repro.core.quantiles import quantile_bound
+
+        return quantile_bound(approximate_quantile(full_sample(values), q))
+
+    def test_duck_types_error_bound_surface(self):
+        bound = self._bound([float(v) for v in range(1, 101)])
+        lower, upper = bound.interval
+        assert lower <= bound.value <= upper
+        assert bound.margin == max(bound.value - lower, upper - bound.value)
+        assert bound.variance == pytest.approx(bound.margin**2)
+        assert bound.stddev == pytest.approx(bound.margin)
+        assert bound.covers(bound.value)
+        assert not bound.covers(upper + 1.0)
+        assert "DKW" in str(bound) and "q=0.5" in str(bound)
+
+    def test_relative_margin(self):
+        bound = self._bound([float(v) for v in range(1, 101)])
+        assert bound.relative_margin == pytest.approx(bound.margin / bound.value)
+
+    def test_tightens_with_sample_size(self):
+        small = self._bound([float(v) for v in range(1, 51)])
+        large = self._bound([float(v) for v in range(1, 2001)])
+        assert large.relative_margin < small.relative_margin
+
+
+class TestQuantileQueryKind:
+    """`kind='quantile'` as a first-class runtime query across engines."""
+
+    def _plan(self, engine, q=0.5, fraction=1.0, seed=3):
+        from repro.runtime import (
+            StreamQuery,
+            SystemConfig,
+            WindowConfig,
+            build_plan,
+        )
+        from repro.runtime.source import as_source
+        from repro.workloads.synthetic import stream_by_rates
+
+        stream = as_source(
+            stream_by_rates({"A": 400, "B": 100}, duration=12, seed=7)
+        )
+        query = StreamQuery(kind="quantile", q=q, name=f"p{int(q*100)}")
+        return build_plan(
+            query,
+            WindowConfig(),
+            SystemConfig(sampling_fraction=fraction, seed=seed),
+            engine=engine,
+            strategy="oasrs",
+            source=stream,
+        )
+
+    def test_query_validation(self):
+        from repro.runtime import StreamQuery
+
+        with pytest.raises(ValueError):
+            StreamQuery(kind="quantile", q=1.0)
+        with pytest.raises(ValueError):
+            StreamQuery(kind="quantile", q=0.0)
+        with pytest.raises(ValueError):
+            StreamQuery(kind="quantile", group_fn=lambda it: it[0])
+
+    def _truth_joined(self, plan):
+        from repro.runtime import execute_plan
+        from repro.runtime.report import exact_panes, join_ground_truth
+
+        results, _cluster = execute_plan(plan)
+        truth = exact_panes(plan.source.events(), plan.query, plan.window)
+        return join_ground_truth(results, truth)
+
+    @pytest.mark.parametrize("engine", ["direct", "batched", "pipelined"])
+    def test_dkw_interval_brackets_exact_per_pane(self, engine):
+        for q, fraction in ((0.5, 1.0), (0.9, 0.5), (0.75, 0.4)):
+            joined = self._truth_joined(self._plan(engine, q=q, fraction=fraction))
+            assert joined
+            for pane in joined:
+                if not pane.total_items:
+                    continue
+                assert pane.error.q == q  # the DKW bracket carries its rank
+                lower, upper = pane.error.interval
+                assert lower <= pane.estimate <= upper
+                assert lower <= pane.exact <= upper
+                # The approximation is tight, not just bracketed.
+                assert abs(pane.estimate - pane.exact) <= 0.05 * abs(pane.exact)
+
+    @pytest.mark.parametrize("engine", ["direct", "batched", "pipelined"])
+    def test_quantile_kind_is_deterministic(self, engine):
+        from repro.runtime import execute_plan
+
+        first, _ = execute_plan(self._plan(engine, q=0.75, fraction=0.4))
+        second, _ = execute_plan(self._plan(engine, q=0.75, fraction=0.4))
+        assert first == second

@@ -263,25 +263,71 @@ class TestFallbackSurfacing:
         assert not batch.has_columns
         assert "unhashable keys" in batch.columnar_reason
 
-    def test_netflow_payloads_surface_fallback_on_report(self):
-        # FlowRecord payloads are not (key, float) tuples: the run completes
-        # on the per-item shim and the report says why.
+    def test_netflow_projections_intern_onto_columnar_path(self):
+        # FlowRecord payloads are not (key, float) tuples, but the query's
+        # flow_protocol/flow_bytes projections ARE columnar-representable:
+        # the driver interns them once at run start and the whole run takes
+        # the columnar path — bitwise identical to the per-item shim.
         stream = netflow_stream(total_rate=400, duration=6, seed=5)
         query = StreamQuery(
             key_fn=flow_protocol, value_fn=flow_bytes, kind="sum", name="nf"
         )
         config = SystemConfig(sampling_fraction=0.6, seed=3, chunk_size=256)
-        report = NativeStreamApproxSystem(query, SysWindow(3.0, 3.0), config).run(
-            stream
-        )
-        assert report.columnar_fallback is not None
-        assert report.results, "shim run still produces panes"
+        system = NativeStreamApproxSystem(query, SysWindow(3.0, 3.0), config)
+        report = system.run(stream)
+        assert report.columnar_fallback is None
+        assert report.results, "interned run still produces panes"
+        os.environ["REPRO_NO_COLUMNAR"] = "1"
+        try:
+            shim = NativeStreamApproxSystem(query, SysWindow(3.0, 3.0), config).run(
+                stream
+            )
+        finally:
+            os.environ.pop("REPRO_NO_COLUMNAR", None)
+        assert shim.columnar_fallback is not None
+        assert _fingerprint(report.results) == _fingerprint(shim.results)
 
-    def test_custom_projections_surface_fallback(self):
+    def test_custom_projections_intern_onto_columnar_path(self):
+        # Even ad-hoc lambdas intern when they extract (hashable, float).
         stream = _columnar_stream()
         query = StreamQuery(
             key_fn=lambda it: it[0], value_fn=lambda it: it[1],
             kind="mean", name="custom",
+        )
+        config = SystemConfig(sampling_fraction=0.5, seed=31, chunk_size=256)
+        report = NativeStreamApproxSystem(query, SysWindow(6.0, 3.0), config).run(
+            stream
+        )
+        assert report.columnar_fallback is None
+        canonical = NativeStreamApproxSystem(
+            StreamQuery(key_fn=item_key, value_fn=item_value, kind="mean",
+                        name="custom"),
+            SysWindow(6.0, 3.0), config,
+        ).run(stream)
+        # Interning rewrote the run to the canonical plan over the same
+        # (key, value) events, so the answers match it bitwise.
+        assert _fingerprint(report.results) == _fingerprint(canonical.results)
+
+    def test_non_columnar_projections_still_surface_fallback(self):
+        # A value projection yielding non-floats cannot intern: the run
+        # stays on the per-item shim and the report says why.
+        stream = _columnar_stream()
+        query = StreamQuery(
+            key_fn=lambda it: it[0], value_fn=lambda it: int(it[1]),
+            kind="mean", name="intvals",
+        )
+        config = SystemConfig(sampling_fraction=0.5, seed=31, chunk_size=256)
+        report = NativeStreamApproxSystem(query, SysWindow(6.0, 3.0), config).run(
+            stream
+        )
+        assert "custom key/value projections" in report.columnar_fallback
+
+    def test_group_fn_distinct_from_key_fn_blocks_interning(self):
+        # A third independent projection has no column to intern into.
+        stream = _columnar_stream()
+        query = StreamQuery(
+            key_fn=lambda it: it[0], value_fn=lambda it: it[1],
+            group_fn=lambda it: it[0], kind="mean", name="grouped",
         )
         config = SystemConfig(sampling_fraction=0.5, seed=31, chunk_size=256)
         report = NativeStreamApproxSystem(query, SysWindow(6.0, 3.0), config).run(
