@@ -55,7 +55,9 @@ from .runtime import (
     ListSource,
     PlanError,
     PlanSource,
+    RunTelemetry,
     SamplingStrategy,
+    TelemetryConfig,
     TopicSource,
     available_strategies,
     build_plan,
@@ -99,8 +101,10 @@ __all__ = [
     "PlanError",
     "PlanSource",
     "ResourceBudget",
+    "RunTelemetry",
     "SamplingStrategy",
     "ShardedExecutor",
+    "TelemetryConfig",
     "SparkSRSSystem",
     "SparkSTSSystem",
     "SparkStreamApproxSystem",

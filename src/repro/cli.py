@@ -67,6 +67,7 @@ from .core.recovery import FaultSchedule, ShardKill
 from .metrics.adaptation import format_trajectory
 from .metrics.ascii_chart import bar_chart, line_chart
 from .metrics.collector import ExperimentCollector
+from .obs import TelemetryConfig, write_chrome_trace
 from .runtime import CheckpointPolicy, PlanError, TopicSource
 from .system import (
     ALL_SYSTEMS,
@@ -206,6 +207,7 @@ def _run_systems(
     budget=None,
     checkpoint=None,
     faults=None,
+    telemetry=None,
 ):
     """Run each named system once; returns (reports, system instances).
 
@@ -228,6 +230,7 @@ def _run_systems(
             faults=faults if name not in _UNSAMPLED else None,
             chunk_size=chunk_size,
             parallelism=parallelism,
+            telemetry=telemetry,
         )
         if broker is not None:
             # rewind (the default) re-reads the whole topic per run, so one
@@ -242,6 +245,21 @@ def _run_systems(
         systems[name] = system
         sources[name] = source
     return reports, systems, sources
+
+
+def _write_trace(path: str, named) -> None:
+    """Write merged system traces: Chrome format, or JSON-lines for .jsonl."""
+    if path.endswith(".jsonl"):
+        import json
+
+        with open(path, "w") as fh:
+            for name, tracer in named:
+                for line in tracer.jsonl_lines():
+                    record = {"system": name}
+                    record.update(json.loads(line))
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return
+    write_chrome_trace(path, named)
 
 
 def cmd_systems(_args) -> int:
@@ -275,11 +293,16 @@ def cmd_compare(args) -> int:
             if args.kill_shard
             else None
         )
+        telemetry = (
+            TelemetryConfig()
+            if (args.trace_out or args.show_timings)
+            else None
+        )
         reports, systems, sources = _run_systems(
             args.systems, stream, query, args.fraction, window,
             chunk_size=args.chunk_size, parallelism=args.parallelism,
             broker=broker, broker_members=args.broker_members, budget=budget,
-            checkpoint=checkpoint, faults=faults,
+            checkpoint=checkpoint, faults=faults, telemetry=telemetry,
         )
     except PlanError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -321,6 +344,40 @@ def cmd_compare(args) -> int:
                     f"{' (permanent)' if ev.permanent else ''}"
                 )
             print(f"  {name:>22}: total items lost {report.items_lost}")
+    if args.show_timings:
+        print("\nper-stage timings (seconds summed over panes):")
+        for name, report in reports.items():
+            tel = report.telemetry
+            if tel is None or not tel.pane_stages:
+                continue
+            stages = tel.stage_seconds()
+            print()
+            print(bar_chart(
+                {stage: round(seconds, 6) for stage, seconds in stages.items()},
+                title=f"{name} ({len(tel.pane_stages)} panes)",
+            ))
+        trajectory_series = {
+            name: [(p.interval_end, float(p.sample_budget))
+                   for p in report.adaptation]
+            for name, report in reports.items()
+            if report.adaptation
+        }
+        if trajectory_series:
+            print()
+            print(line_chart(
+                trajectory_series,
+                title="adaptive sample budget per interval",
+            ))
+    if args.trace_out:
+        named = [
+            (name, report.telemetry.tracer)
+            for name, report in reports.items()
+            if report.telemetry is not None
+        ]
+        _write_trace(args.trace_out, named)
+        print(f"\nwrote trace of {len(named)} system runs to {args.trace_out}"
+              + ("" if args.trace_out.endswith(".jsonl")
+                 else " (load in chrome://tracing or ui.perfetto.dev)"))
     if args.resume:
         print("\nresume-from-checkpoint verification:")
         failures = 0
@@ -442,6 +499,62 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    """Fetch and render a running service's metrics over the wire."""
+    import json
+    import socket
+
+    try:
+        with socket.create_connection(
+            (args.host, args.port), timeout=args.timeout
+        ) as sock:
+            sock.sendall(b'{"op":"metrics"}\n')
+            buf = b""
+            while not buf.endswith(b"\n"):
+                data = sock.recv(65536)
+                if not data:
+                    break
+                buf += data
+    except OSError as exc:
+        print(f"error: cannot reach service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        reply = json.loads(buf.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        print(f"error: malformed metrics reply: {exc}", file=sys.stderr)
+        return 2
+    if reply.get("type") != "metrics":
+        print(f"error: unexpected reply {reply.get('type')!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    service = reply["service"]
+    print(f"service @ {args.host}:{args.port}")
+    print(f"  submitted={service['submitted']:g} admitted={service['admitted']:g} "
+          f"rejected={service['rejected']:g} completed={service['completed']:g} "
+          f"failed={service['failed']:g}")
+    print(f"  in_flight={service['in_flight']} queue_depth={service['queue_depth']} "
+          f"active_cost={service['active_cost']:g} / capacity {service['capacity']:g}")
+    tta = service.get("time_to_answer") or {}
+    if tta.get("count"):
+        print(f"  time_to_answer: p50={tta['p50']:g}s p99={tta['p99']:g}s "
+              f"max={tta['max']:.3f}s over {tta['count']:g} queries")
+    tenants = reply.get("tenants", {})
+    if tenants:
+        print(f"\n{'tenant':>16} {'budget':>7} {'ratio':>7} {'admit':>6} "
+              f"{'reject':>6} {'queue':>6} {'settled':>10} {'tta p99':>8}")
+        for tenant_id in sorted(tenants):
+            t = tenants[tenant_id]
+            t_tta = t.get("time_to_answer") or {}
+            p99 = f"{t_tta['p99']:g}s" if t_tta.get("count") else "-"
+            print(f"{tenant_id:>16} {t['budget']:7g} {t['ratio']:7.3f} "
+                  f"{t['admitted']:6g} {t['rejected']:6g} {t['queue_depth']:6g} "
+                  f"{t['settled']:10.1f} {p99:>8}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="StreamApprox reproduction experiments"
@@ -508,6 +621,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="after the run, resume each system from its "
                               "latest checkpoint and verify the remaining "
                               "panes match (needs --checkpoint-every)")
+    compare.add_argument("--trace-out", default=None, dest="trace_out",
+                         metavar="PATH",
+                         help="run with telemetry and write the merged span "
+                              "trace: chrome://tracing JSON (default) or "
+                              "JSON-lines when PATH ends in .jsonl")
+    compare.add_argument("--show-timings", action="store_true",
+                         dest="show_timings",
+                         help="run with telemetry and print per-stage timings "
+                              "plus the adaptation trajectory chart")
     compare.set_defaults(func=cmd_compare)
 
     sweep = sub.add_parser("sweep", help="sweep the sampling fraction")
@@ -536,6 +658,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=4,
                        help="query-execution worker threads")
     serve.set_defaults(func=cmd_serve)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="fetch a running service's admission/latency metrics over TCP",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=7071)
+    metrics.add_argument("--timeout", type=float, default=5.0,
+                         help="connection timeout in seconds")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the raw JSON reply instead of the table")
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

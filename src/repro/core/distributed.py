@@ -47,6 +47,7 @@ import multiprocessing
 import os
 import random
 from multiprocessing import shared_memory
+from time import perf_counter
 from typing import (
     Callable,
     Generic,
@@ -58,6 +59,7 @@ from typing import (
     TypeVar,
 )
 
+from ..obs import NULL_METRICS
 from ._vector import np as _np
 from .oasrs import AllocationPolicy, FixedPerStratum, KeyFn, OASRSSampler
 from .records import ColumnSlice, item_key
@@ -215,10 +217,13 @@ class _ShmChannel:
     values at the next 8-byte boundary.
     """
 
-    __slots__ = ("shm",)
+    __slots__ = ("shm", "_grow_counter")
 
-    def __init__(self) -> None:
+    def __init__(self, grow_counter=None) -> None:
         self.shm: Optional[shared_memory.SharedMemory] = None
+        #: Counts *re*-allocations (an interval outsizing a live segment),
+        #: not the initial allocation — the cost worth watching is churn.
+        self._grow_counter = grow_counter
 
     def write(self, codes, values) -> Tuple[str, int]:
         n = int(codes.shape[0])
@@ -226,6 +231,8 @@ class _ShmChannel:
         need = offset + 8 * n
         shm = self.shm
         if shm is None or shm.size < need:
+            if shm is not None and self._grow_counter is not None:
+                self._grow_counter.inc()
             self.close()
             shm = shared_memory.SharedMemory(
                 create=True, size=max(4096, need + need // 2)
@@ -260,7 +267,10 @@ def _pool_worker_main(conn, policy, key_fn, chunk_size, source) -> None:
     the seed, the live-worker count, the coordinator policy's attribute
     snapshot (the budget re-target channel), any new key-table entries,
     and a transport descriptor; the reply is the shard's
-    ``(key, items, count)`` sample payload.
+    ``(key, items, count)`` sample payload plus the worker's locally
+    accumulated ``(items_seen, items_kept, shard_seconds)`` stats — the
+    telemetry channel for costs the coordinator cannot observe from
+    outside the process.
     """
     key_list: List[object] = []
     shm: Optional[shared_memory.SharedMemory] = None
@@ -309,7 +319,10 @@ def _pool_worker_main(conn, policy, key_fn, chunk_size, source) -> None:
                     shard = _ChunkCodec.decode(key_list, codes, values)
             else:  # "items": pickled shard (fault reroutes, exotic records)
                 shard = transport[1]
-            conn.send(_run_shard(shard, policy, key_fn, n_live, seed, chunk_size))
+            started = perf_counter()
+            payload = _run_shard(shard, policy, key_fn, n_live, seed, chunk_size)
+            kept = sum(len(items) for _key, items, _count in payload)
+            conn.send((payload, (len(shard), kept, perf_counter() - started)))
     except KeyboardInterrupt:
         pass
     finally:
@@ -326,10 +339,10 @@ class _PoolWorker:
 
     __slots__ = ("process", "conn", "channel", "keys_sent")
 
-    def __init__(self, process, conn) -> None:
+    def __init__(self, process, conn, grow_counter=None) -> None:
         self.process = process
         self.conn = conn
-        self.channel = _ShmChannel()
+        self.channel = _ShmChannel(grow_counter)
         #: Key-table prefix already shipped to this worker.
         self.keys_sent = 0
 
@@ -377,6 +390,7 @@ class ShardedExecutor(Generic[T]):
         chunk_size: int = 1024,
         route_fn: Optional[Callable[[T, int], int]] = None,
         faults: Optional[FaultSchedule] = None,
+        metrics=None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -400,6 +414,21 @@ class ShardedExecutor(Generic[T]):
         self._codec = _ChunkCodec()
         self._source: Optional[Sequence] = None
         self._pool_source: Optional[Sequence] = None
+        # Bound once here so the interval loop never does a registry
+        # lookup; with metrics=None every instrument is a shared no-op.
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_spawned = metrics.counter("pool.workers_spawned")
+        self._m_snapshots = metrics.counter("pool.policy_snapshots")
+        self._m_failures = metrics.counter("pool.failures")
+        self._m_worker_items = metrics.counter("pool.worker_items")
+        self._m_worker_kept = metrics.counter("pool.worker_kept")
+        self._m_shard_seconds = metrics.histogram("pool.shard_seconds")
+        self._m_span = metrics.counter("transport.span_intervals")
+        self._m_shm = metrics.counter("transport.shm_intervals")
+        self._m_pickled = metrics.counter("transport.pickle_intervals")
+        self._m_inprocess = metrics.counter("transport.inprocess_intervals")
+        self._m_codec_fallbacks = metrics.counter("transport.codec_fallbacks")
+        self._m_shm_grows = metrics.counter("transport.shm_grows")
 
     # -- availability ------------------------------------------------------
 
@@ -517,7 +546,10 @@ class ShardedExecutor(Generic[T]):
                 )
                 process.start()
                 child_conn.close()
-                pool[worker_id] = _PoolWorker(process, parent_conn)
+                pool[worker_id] = _PoolWorker(
+                    process, parent_conn, self._m_shm_grows
+                )
+                self._m_spawned.inc()
         except (OSError, ValueError, RuntimeError) as exc:
             for worker in pool.values():
                 self._stop_worker(worker, graceful=False)
@@ -763,9 +795,11 @@ class ShardedExecutor(Generic[T]):
                     f"worker pool failed ({type(exc).__name__}: {exc}); "
                     "interval completed in-process"
                 )
+                self._m_failures.inc()
                 self._close_pool()
                 payloads = None
         if payloads is None:
+            self._m_inprocess.inc()
             if shards is None:
                 shards = self._partition(
                     self._materialize(flat, chunks, span), n_live
@@ -799,9 +833,11 @@ class ShardedExecutor(Generic[T]):
         n_live = len(live)
         if shards is not None:
             transports = [("items", shard) for shard in shards]
+            self._m_pickled.inc()
         elif span is not None and self._pool_source is self._source:
             lo, hi = span
             transports = [("span", lo, hi, slot) for slot in range(n_live)]
+            self._m_span.inc()
         else:
             if chunks is None:
                 chunks = (self._materialize(flat, None, span),)
@@ -811,6 +847,8 @@ class ShardedExecutor(Generic[T]):
                     self._materialize(flat, chunks, None), n_live
                 )
                 transports = [("items", shard) for shard in shards]
+                self._m_pickled.inc()
+                self._m_codec_fallbacks.inc()
             else:
                 codes, values = encoded
                 transports = [
@@ -819,6 +857,7 @@ class ShardedExecutor(Generic[T]):
                     ))
                     for slot, worker_id in enumerate(live)
                 ]
+                self._m_shm.inc()
         policy_state = snapshot_attrs(self._policy)
         key_list = self._codec.key_list
         for slot, worker_id in enumerate(live):
@@ -829,7 +868,17 @@ class ShardedExecutor(Generic[T]):
                 ("interval", seeds[slot], n_live, policy_state, new_keys,
                  transports[slot])
             )
-        return [pool[worker_id].conn.recv() for worker_id in live]
+        self._m_snapshots.inc(n_live)
+        payloads = []
+        for worker_id in live:
+            payload, (items_seen, items_kept, seconds) = (
+                pool[worker_id].conn.recv()
+            )
+            self._m_worker_items.inc(items_seen)
+            self._m_worker_kept.inc(items_kept)
+            self._m_shard_seconds.observe(seconds)
+            payloads.append(payload)
+        return payloads
 
     @staticmethod
     def _decode(payload: List[Tuple[object, List[object], int]]) -> WeightedSample[T]:

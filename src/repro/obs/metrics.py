@@ -1,0 +1,256 @@
+"""Counters, gauges, and fixed-bucket histograms with a no-op fast path.
+
+Design constraints (see ISSUE 10 / docs/observability.md):
+
+* **Near-zero cost when disabled.**  A disabled registry
+  (`NullMetricsRegistry`) returns shared module-level no-op instruments
+  from `counter()` / `gauge()` / `histogram()`.  Instrumented code binds
+  the instrument once, outside its loop::
+
+      items = registry.counter("items.observed")   # one lookup, ever
+      for interval in run:
+          items.inc(n)                             # no-op when disabled
+
+  so the hot path never does a dict lookup and the disabled cost is one
+  attribute-free method call per *interval* (never per chunk or item).
+* **Deterministic snapshots.**  `snapshot()` sorts by name so telemetry
+  output is stable across runs and hash seeds.
+
+Values are plain floats; histograms use fixed inclusive upper-edge
+buckets (one overflow bucket) so `observe()` is a single bisect and
+percentiles are cheap bucket walks — estimates with bucket-edge
+resolution, which is all the service wire report needs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import ceil
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value})"
+
+
+#: Default histogram edges, tuned for seconds-scale latencies (1 ms – 10 s).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram: inclusive upper edges plus an overflow bucket.
+
+    `percentile()` returns the upper edge of the bucket holding the
+    nearest-rank observation (the observed max for the overflow bucket) —
+    a deliberate estimate, not an exact order statistic.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket edge")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.count:
+            return 0.0
+        rank = min(max(1, ceil(p / 100.0 * self.count)), self.count)
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max  # pragma: no cover - unreachable
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 9),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and snapshot-able."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory()
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        return self._get(
+            name, lambda: Histogram(name, bounds or DEFAULT_BUCKETS), Histogram
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Name-sorted view: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            else:
+                out["histograms"][name] = instrument.summary()
+        return out
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: every instrument is a shared no-op singleton."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name, bounds=None) -> Histogram:  # type: ignore[override]
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Shared disabled registry — the module-level no-op fast path.
+NULL_METRICS = NullMetricsRegistry()

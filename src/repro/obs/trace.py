@@ -1,0 +1,273 @@
+"""Structured tracing: nested spans with JSON-lines and Chrome export.
+
+A `Span` is a named, timed tree node with free-form attributes; a
+`Tracer` maintains the active span stack and the forest of completed
+roots.  Spans nest in *creation order* — children are appended to their
+parent as they begin — so the tree's **structure** (names, nesting,
+attributes, sibling order) is deterministic for a deterministic run,
+while the clock fields carry real `time.perf_counter()` readings.  Tests
+assert `Span.structure()` (no clocks); trace files carry the timings.
+
+Two export formats:
+
+* `Tracer.write_jsonl(path)` — one JSON object per span, depth-first in
+  creation order, with ``depth`` for cheap grep/jq analysis.
+* `Tracer.write_chrome(path)` / `write_chrome_trace(path, named)` —
+  Chrome ``trace_event`` complete events (``ph: "X"``, microsecond
+  timestamps relative to the tracer epoch), loadable in chrome://tracing
+  or https://ui.perfetto.dev.  `write_chrome_trace` merges several
+  tracers (one per system run) into one file, one "process" lane each.
+
+The disabled path is `NULL_TRACER`: `begin`/`end`/`event` are no-ops and
+``with tracer.span(...)`` costs two no-op calls — safe to leave in
+instrumented code unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "write_chrome_trace"]
+
+
+class Span:
+    """One node of a trace tree: name, attrs, [start, end) clock readings."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(
+        self, name: str, attrs: Optional[Dict[str, object]] = None,
+        start: float = 0.0, end: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.start = start
+        self.end = end
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def structure(self) -> Dict[str, object]:
+        """The deterministic view: names/attrs/nesting, no clock fields."""
+        node: Dict[str, object] = {"name": self.name}
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [c.structure() for c in self.children]
+        return node
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name}, {self.duration * 1e3:.3f} ms, {len(self.children)} children)"
+
+
+class _SpanContext:
+    """``with tracer.span("name")`` — begin on enter, end on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer.begin(self._name, **self._attrs)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.end()
+
+
+class Tracer:
+    """Active-stack span builder; completed roots accumulate on `roots`."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+        self.epoch: Optional[float] = None
+
+    # -- building ---------------------------------------------------------
+    def begin(self, name: str, **attrs) -> Span:
+        now = self._clock()
+        if self.epoch is None:
+            self.epoch = now
+        span = Span(name, attrs, start=now)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self) -> Optional[Span]:
+        if not self._stack:
+            return None
+        span = self._stack.pop()
+        span.end = self._clock()
+        return span
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        return _SpanContext(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> Span:
+        """A zero-duration instant attached to the current span (or root)."""
+        now = self._clock()
+        if self.epoch is None:
+            self.epoch = now
+        span = Span(name, attrs, start=now, end=now)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def add_span(
+        self, name: str, start: float, end: float,
+        attrs: Optional[Dict[str, object]] = None, parent: Optional[Span] = None,
+    ) -> Span:
+        """Attach a retroactively-timed span (used by lap-style timers)."""
+        if self.epoch is None:
+            self.epoch = start
+        span = Span(name, dict(attrs) if attrs else {}, start=start, end=end)
+        if parent is not None:
+            parent.children.append(span)
+        elif self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def close(self) -> None:
+        """End any spans left open (crash paths keep a well-formed tree)."""
+        while self._stack:
+            self.end()
+
+    # -- export -----------------------------------------------------------
+    def structure(self) -> List[Dict[str, object]]:
+        return [root.structure() for root in self.roots]
+
+    def spans(self) -> Iterator[Tuple[Span, int]]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def jsonl_lines(self) -> Iterator[str]:
+        epoch = self.epoch or 0.0
+        for span, depth in self.spans():
+            record = {
+                "name": span.name,
+                "depth": depth,
+                "start_us": round((span.start - epoch) * 1e6, 1),
+                "dur_us": round(span.duration * 1e6, 1),
+            }
+            if span.attrs:
+                record["attrs"] = span.attrs
+            yield json.dumps(record, default=str, sort_keys=True)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as fh:
+            for line in self.jsonl_lines():
+                fh.write(line + "\n")
+
+    def chrome_events(self, pid: int = 0, tid: int = 0) -> List[Dict[str, object]]:
+        epoch = self.epoch or 0.0
+        events: List[Dict[str, object]] = []
+        for span, _depth in self.spans():
+            event: Dict[str, object] = {
+                "name": span.name,
+                "ph": "X" if span.duration else "i",
+                "ts": round((span.start - epoch) * 1e6, 1),
+                "pid": pid,
+                "tid": tid,
+                "args": {k: str(v) for k, v in span.attrs.items()},
+            }
+            if span.duration:
+                event["dur"] = round(span.duration * 1e6, 1)
+            else:
+                event["s"] = "t"  # instant scope: thread
+            events.append(event)
+        return events
+
+    def write_chrome(self, path, name: str = "run") -> None:
+        write_chrome_trace(path, [(name, self)])
+
+
+def write_chrome_trace(path, named_tracers: Iterable[Tuple[str, Tracer]]) -> None:
+    """Merge ``(name, tracer)`` pairs into one chrome://tracing JSON file."""
+    events: List[Dict[str, object]] = []
+    for pid, (name, tracer) in enumerate(named_tracers):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+        events.extend(tracer.chrome_events(pid=pid))
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh, default=str)
+        fh.write("\n")
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> "Span":
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    roots: Tuple[Span, ...] = ()
+    epoch = None
+
+    def begin(self, name: str, **attrs) -> Span:
+        return _NULL_SPAN
+
+    def end(self) -> Optional[Span]:
+        return None
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, **attrs) -> Span:
+        return _NULL_SPAN
+
+    def add_span(self, name, start, end, attrs=None, parent=None) -> Span:
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        pass
+
+    def structure(self) -> List[Dict[str, object]]:
+        return []
+
+    def spans(self) -> Iterator[Tuple[Span, int]]:
+        return iter(())
+
+    def jsonl_lines(self) -> Iterator[str]:
+        return iter(())
+
+    def chrome_events(self, pid: int = 0, tid: int = 0) -> List[Dict[str, object]]:
+        return []
+
+
+_NULL_SPAN = Span("null")
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+#: Shared disabled tracer — safe to call unconditionally from hot code.
+NULL_TRACER = NullTracer()

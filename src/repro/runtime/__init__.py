@@ -17,6 +17,7 @@ porting a new system means registering a strategy and/or naming an
 """
 
 from ..core.recovery import FaultSchedule, RecoveryEvent, ShardKill
+from ..obs import RunTelemetry, TelemetryConfig
 from .checkpoint import CheckpointPolicy, CheckpointStore, PaneCheckpoint
 from .config import QueryBudget, StreamQuery, SystemConfig, WindowConfig
 from .control import AdaptationPoint, BudgetController
@@ -57,10 +58,12 @@ __all__ = [
     "PlanError",
     "PlanSource",
     "QueryBudget",
+    "RunTelemetry",
     "SamplingStrategy",
     "StreamQuery",
     "SystemConfig",
     "SystemReport",
+    "TelemetryConfig",
     "TopicSource",
     "WindowConfig",
     "WindowResult",

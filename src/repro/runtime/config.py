@@ -21,6 +21,7 @@ from ..core.budget import AccuracyBudget, LatencyBudget, ResourceBudget
 from ..core.records import item_key, item_value
 from ..core.recovery import FaultSchedule
 from ..engine.costs import CostProfile
+from ..obs import RunTelemetry, TelemetryConfig
 from .checkpoint import CheckpointPolicy
 
 __all__ = ["StreamQuery", "WindowConfig", "SystemConfig", "QueryBudget"]
@@ -197,6 +198,14 @@ class SystemConfig:
     #: intervals and recover by discard-and-rewiden.  Requires
     #: ``parallelism >= 2`` with a shardable strategy.
     faults: Optional[FaultSchedule] = None
+    #: Optional observability (`repro.obs.TelemetryConfig`): per-pane stage
+    #: timing, counters, and nested trace spans, surfaced as
+    #: ``SystemReport.telemetry`` and exportable to chrome://tracing.  A
+    #: live `repro.obs.RunTelemetry` instance is also accepted when the
+    #: caller wants to hold the collector directly.  Telemetry never
+    #: touches RNG state or estimates — runs stay bitwise identical with
+    #: it on (golden-pinned) — and costs nothing when left ``None``.
+    telemetry: Union[None, TelemetryConfig, RunTelemetry] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.sampling_fraction <= 1:
@@ -232,4 +241,11 @@ class SystemConfig:
         if self.faults is not None and not isinstance(self.faults, FaultSchedule):
             raise ValueError(
                 f"faults must be a FaultSchedule, got {type(self.faults).__name__}"
+            )
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, (TelemetryConfig, RunTelemetry)
+        ):
+            raise ValueError(
+                f"telemetry must be a TelemetryConfig or RunTelemetry, "
+                f"got {type(self.telemetry).__name__}"
             )

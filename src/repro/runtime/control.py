@@ -96,6 +96,16 @@ class BudgetController:
         self.trajectory: List[AdaptationPoint] = []
         self._feedback: Optional[AdaptiveSampleSizeController] = None
         self._total: Optional[int] = None
+        self._telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Emit each re-target decision as a trace event on this collector.
+
+        The event carries the same fields as the `AdaptationPoint` it
+        mirrors, so the §4.2 trajectory shows up inline in the span tree
+        (and chrome://tracing) instead of only post-hoc on the report.
+        """
+        self._telemetry = telemetry
 
     def initial_total(self, expected_items_per_interval: int) -> int:
         """The first interval's total sample budget, before any observation.
@@ -153,16 +163,27 @@ class BudgetController:
             total = model_total
         total = max(1, total)
         self._total = total
-        self.trajectory.append(
-            AdaptationPoint(
-                interval_end=(len(self.trajectory) + 1) * self.window.slide,
-                sample_budget=total,
-                measured_margin=measured,
-                relative_margin=(
-                    bound.relative_margin if bound is not None else 0.0
-                ),
-                observed_items=per_interval,
-                strata=strata,
-            )
+        point = AdaptationPoint(
+            interval_end=(len(self.trajectory) + 1) * self.window.slide,
+            sample_budget=total,
+            measured_margin=measured,
+            relative_margin=(
+                bound.relative_margin if bound is not None else 0.0
+            ),
+            observed_items=per_interval,
+            strata=strata,
         )
+        self.trajectory.append(point)
+        if self._telemetry is not None:
+            self._telemetry.tracer.event(
+                "budget.retarget",
+                interval_end=point.interval_end,
+                sample_budget=point.sample_budget,
+                measured_margin=point.measured_margin,
+                relative_margin=point.relative_margin,
+                observed_items=point.observed_items,
+                strata=point.strata,
+            )
+            self._telemetry.metrics.gauge("budget.sample_budget").set(total)
+            self._telemetry.metrics.counter("budget.retargets").inc()
         return total

@@ -56,6 +56,7 @@ from ..engine.batched.context import StreamingContext
 from ..engine.batched.dstream import Batcher
 from ..engine.cluster import SimulatedCluster
 from ..engine.pipelined.dataflow import Pipeline
+from ..obs import NULL_METRICS, NULL_PANE_TIMER, NULL_TRACER, run_telemetry
 from .checkpoint import (
     CheckpointStore,
     PaneCheckpoint,
@@ -113,11 +114,33 @@ def _interval_budget(stream, window, config) -> int:
     return max(1, int(config.sampling_fraction * _per_slide_items(stream, window)))
 
 
-def _make_controller(plan: ExecutionPlan) -> Optional[BudgetController]:
+def _make_controller(plan: ExecutionPlan, telemetry=None) -> Optional[BudgetController]:
     """The run's budget controller, or None for fixed-fraction plans."""
     if plan.config.budget is None:
         return None
-    return BudgetController(plan.config.budget, plan.config, plan.window)
+    controller = BudgetController(plan.config.budget, plan.config, plan.window)
+    if telemetry is not None:
+        controller.attach_telemetry(telemetry)
+    return controller
+
+
+def _telemetry_setup(plan: ExecutionPlan, run_info: Optional[dict]):
+    """Resolve the plan's telemetry into ``(collector, pane timer, tracer)``.
+
+    Returns ``(None, NULL_PANE_TIMER, NULL_TRACER)`` when telemetry is off,
+    so the run loops instrument unconditionally: every timer/tracer call on
+    the disabled path is a no-op method on a shared singleton — no branches
+    and no dict lookups inside the loops, per-interval granularity only.
+    The live collector is surfaced through ``run_info["telemetry"]``, the
+    same channel as ``parallel_fallback``/``columnar_fallback``, and lands
+    on ``SystemReport.telemetry``.
+    """
+    telemetry = run_telemetry(plan.config.telemetry)
+    if telemetry is None:
+        return None, NULL_PANE_TIMER, NULL_TRACER
+    if run_info is not None:
+        run_info["telemetry"] = telemetry
+    return telemetry, telemetry.pane_timer(), telemetry.tracer
 
 
 def _strata_hint(stream, key_fn) -> int:
@@ -307,7 +330,12 @@ def execute_plan(
     ``run_info``, when given, collects run diagnostics the result tuple
     has no room for — currently ``"parallel_fallback"``, the reason a
     ``parallelism > 1`` plan degraded to in-process sampling (absent when
-    the worker pool stayed healthy), and ``"columnar_fallback"``.
+    the worker pool stayed healthy), ``"columnar_fallback"``,
+    ``"telemetry"`` (the live `repro.obs.RunTelemetry` when the config
+    enables it), and ``"sampled_total"`` — the items the sampling stage
+    actually kept across the run's intervals, the measured actual the
+    serving layer's settle-up reconciles against its pre-run cost
+    estimate.
 
     ``on_pane``, when given, is called with each `WindowResult` the moment
     its pane closes — the streaming hook the serving layer
@@ -415,6 +443,13 @@ def run_batched(
         # it gets the classic tuple-of-items micro-batches.
         columnar_reason = "ad-hoc handle_batch override (per-item shim)"
     _note_columnar(run_info, columnar_reason)
+    telemetry, timer, trace = _telemetry_setup(plan, run_info)
+    if bound_strategy is not None:
+        bound_strategy.attach_telemetry(telemetry)
+    metrics = telemetry.metrics if telemetry is not None else NULL_METRICS
+    observed_counter = metrics.counter("items.observed")
+    kept_counter = metrics.counter("items.sampled")
+    pane_counter = metrics.counter("panes")
     store, every = _checkpoint_setup(plan, checkpoint_store)
     if (store is not None or resume_from is not None) and bound_strategy is None:
         raise PlanError(
@@ -422,7 +457,7 @@ def run_batched(
             "ad-hoc handle_batch override carries state the runtime cannot "
             "snapshot"
         )
-    controller = _make_controller(plan)
+    controller = _make_controller(plan, telemetry)
     if controller is not None and bound_strategy is not None:
         # Seed the first interval's fraction from the budget (latency and
         # resource budgets bind before any pane has been observed).
@@ -464,9 +499,20 @@ def run_batched(
         batch_iter = batcher.batches_columnar(feed)
     else:
         batch_iter = batcher.batches(feed)
+    sampled_total = 0
     try:
+        trace.begin(
+            "run", system=plan.name, engine="batched", strategy=plan.strategy
+        )
+        timer.open()
         for batch in batch_iter:
-            history.append(handle_batch(ctx, batch.items))
+            timer.lap("ingest")
+            batch_sample = handle_batch(ctx, batch.items)
+            history.append(batch_sample)
+            timer.lap("offer")
+            sampled_total += batch_sample.total_items
+            observed_counter.inc(len(batch.items))
+            kept_counter.inc(batch_sample.total_items)
             consumed += len(batch.items)
             if len(history) > per_window:
                 del history[: len(history) - per_window]
@@ -504,6 +550,8 @@ def run_batched(
                 if on_pane is not None:
                     on_pane(results[-1])
                 pane_index += 1
+                pane_counter.inc()
+                timer.lap("estimate")
                 if store is not None and pane_index % every == 0:
                     # ``consumed`` counts only items in yielded batches; the
                     # boundary-crossing trigger item sits in the batcher's
@@ -529,8 +577,14 @@ def run_batched(
                             },
                         )
                     )
+                    timer.lap("checkpoint")
+                timer.close(pane_index, end=batch.end)
+                timer.open()
     finally:
         _finish_run(bound_strategy, run_info)
+        trace.close()
+    if run_info is not None:
+        run_info["sampled_total"] = sampled_total
     if controller is not None and adaptation_log is not None:
         adaptation_log.extend(controller.trajectory)
     return results, ctx.cluster
@@ -570,8 +624,14 @@ def run_pipelined(
     columnar_reason = _columnar_reason(stream, query)
     _note_columnar(run_info, columnar_reason)
     use_columns = columnar_reason is None
+    telemetry, timer, trace = _telemetry_setup(plan, run_info)
+    metrics = telemetry.metrics if telemetry is not None else NULL_METRICS
+    observed_counter = metrics.counter("items.observed")
+    kept_counter = metrics.counter("items.sampled")
+    pane_counter = metrics.counter("panes")
     bound_strategy = get_strategy(plan.strategy).bind(plan)
-    controller = _make_controller(plan)
+    bound_strategy.attach_telemetry(telemetry)
+    controller = _make_controller(plan, telemetry)
     store, every = _checkpoint_setup(plan, checkpoint_store)
     if resume_from is not None:
         _validate_resume(plan, resume_from, len(stream))
@@ -587,8 +647,15 @@ def run_pipelined(
         "emitted": list(prior_results),
         "value": None,
     }
+    # Telemetry cells shared by the operator hooks: pane ordinal for the
+    # pane timer, kept-count accumulator for the settle-up ledger.
+    tel_pane = [0]
+    kept_cell = [0]
 
     try:
+        trace.begin(
+            "run", system=plan.name, engine="pipelined", strategy=plan.strategy
+        )
         if bound_strategy.samples_intervals:
             if controller is not None:
                 initial = controller.initial_total(int(_per_slide_items(stream, window)))
@@ -613,7 +680,14 @@ def run_pipelined(
                 op_start = resume_from.pane_end
                 feed = stream[resume_from.stream_position :]
 
+            def count_kept(sample):
+                kept = sample.total_items
+                kept_cell[0] += kept
+                kept_counter.inc(kept)
+                return kept
+
             def aggregate_samples(merged):
+                timer.open()
                 estimate, bound, groups, strata = estimate_pane_stats(
                     merged, query, confidence
                 )
@@ -622,6 +696,10 @@ def run_pipelined(
                         controller.on_pane(strata, bound, merged.total_count)
                     )
                 recovery = tuple(bound_strategy.drain_recovery_events())
+                timer.lap("estimate")
+                tel_pane[0] += 1
+                pane_counter.inc()
+                timer.close(tel_pane[0])
                 value = (
                     estimate, bound, groups, merged.total_items, merged.total_count,
                     recovery,
@@ -653,6 +731,9 @@ def run_pipelined(
                         on_pane(pane_meta["emitted"][-1])
                     if store is None or pane_meta["index"] % every:
                         return
+                    save_started = (
+                        time.perf_counter() if telemetry is not None else 0.0
+                    )
                     store.save(
                         PaneCheckpoint(
                             plan_name=plan.name,
@@ -674,11 +755,16 @@ def run_pipelined(
                             },
                         )
                     )
+                    if telemetry is not None:
+                        telemetry.note_stage(
+                            "checkpoint", save_started, time.perf_counter()
+                        )
 
+            observed_counter.inc(len(feed))
             raw = (
                 Pipeline(cluster)
                 .sample_oasrs(sampler, slide=window.slide, start=op_start)
-                .charge(count_fn=lambda sample: sample.total_items)
+                .charge(count_fn=count_kept)
                 .window_samples(
                     intervals_per_window=window.intervals_per_window,
                     aggregate=aggregate_samples,
@@ -705,8 +791,10 @@ def run_pipelined(
                 feed = stream[resume_from.stream_position :]
 
             def aggregate_exact(pane_items):
+                timer.open()
                 sample = full_weight_sample([item for _ts, item in pane_items], query.key_fn)
                 estimate, bound, groups = estimate_pane(sample, query, confidence)
+                timer.lap("estimate")
                 if store is not None or on_pane is not None:
                     # Sliding-window panes fire at consecutive slide multiples
                     # from the operator's start, so the pane count recovers the
@@ -745,9 +833,18 @@ def run_pipelined(
                                     },
                                 )
                             )
+                            timer.lap("checkpoint")
+                tel_pane[0] += 1
+                pane_counter.inc()
+                timer.close(tel_pane[0])
                 return estimate, bound, groups, sample.total_items
 
             pane_meta["base"] = pane_meta["index"]
+            # The exact path consumes every item at full weight: its sample
+            # cost *is* the stream.
+            kept_cell[0] = len(feed)
+            observed_counter.inc(len(feed))
+            kept_counter.inc(len(feed))
             raw = (
                 Pipeline(cluster)
                 .charge()  # per-item query processing, charged exactly once
@@ -769,6 +866,9 @@ def run_pipelined(
 
     finally:
         _finish_run(bound_strategy, run_info)
+        trace.close()
+    if run_info is not None:
+        run_info["sampled_total"] = kept_cell[0]
 
     # Drop the end-of-stream flush pane (it covers a partial interval beyond
     # the last watermark); the batched engine emits no such pane, so keeping
@@ -912,7 +1012,12 @@ def run_direct(
     # Columnar hot loop: interval boundaries from searchsorted on the
     # timestamp column, chunk feeding through zero-copy column views.
     ts_col = stream.ts if columnar_reason is None else None
-    controller = _make_controller(plan)
+    telemetry, timer, trace = _telemetry_setup(plan, run_info)
+    metrics = telemetry.metrics if telemetry is not None else NULL_METRICS
+    observed_counter = metrics.counter("items.observed")
+    kept_counter = metrics.counter("items.sampled")
+    pane_counter = metrics.counter("panes")
+    controller = _make_controller(plan, telemetry)
     if controller is not None:
         initial = controller.initial_total(int(_per_slide_items(stream, window)))
     else:
@@ -920,6 +1025,7 @@ def run_direct(
     # Per-interval budget shared with the pipelined engine, with the
     # declared strata splitting the first interval's allocation.
     bound_strategy = get_strategy(plan.strategy).bind(plan)
+    bound_strategy.attach_telemetry(telemetry)
     sampler = bound_strategy.interval_sampler(
         initial, _strata_hint(stream, query.key_fn)
     )
@@ -931,6 +1037,9 @@ def run_direct(
     run_span = getattr(sampler, "run_interval_span", None)
     if run_span is not None:
         sampler.pin_source(stream)
+    # Stage label for the sampling section: the sharded entry points cross
+    # the worker-pool transport; the in-process paths are plain offers.
+    sampling_stage = "transport" if run_interval is not None else "offer"
     store, every = _checkpoint_setup(plan, checkpoint_store)
 
     chunk = config.chunk_size
@@ -958,8 +1067,13 @@ def run_direct(
         start_idx = resume_from.stream_position
         boundary = resume_from.pane_end + slide
         pane_index = resume_from.pane_index
+    sampled_total = 0
     try:
+        trace.begin(
+            "run", system=plan.name, engine="direct", strategy=plan.strategy
+        )
         while start_idx < n:
+            timer.open()
             if ts_col is not None:
                 # Equivalent to the bisect below: the column holds the very
                 # same float timestamps, "left" matches bisect_left.
@@ -973,6 +1087,7 @@ def run_direct(
             pane_end = boundary
             boundary += slide
             cluster.sample_items(end_idx - lo, "oasrs")
+            timer.lap("ingest")
             sampling_started = time.perf_counter()
             if run_span is not None:
                 # Span-addressed sharding: no item materialization here at all;
@@ -1004,6 +1119,10 @@ def run_direct(
                     offer(item)
                 sample = sampler.close_interval()
             sampling_seconds += time.perf_counter() - sampling_started
+            timer.lap(sampling_stage)
+            sampled_total += sample.total_items
+            observed_counter.inc(end_idx - lo)
+            kept_counter.inc(sample.total_items)
             cluster.process_items(sample.total_items)
             if query.group_fn is None and query.kind != "quantile":
                 # Moment path: pool per-interval sufficient statistics — no
@@ -1042,6 +1161,7 @@ def run_direct(
                     controller.on_pane(strata, bound, population)
                 )
             recovery = tuple(bound_strategy.drain_recovery_events())
+            timer.lap("estimate")
             results.append(
                 WindowResult(
                     end=pane_end,
@@ -1057,6 +1177,7 @@ def run_direct(
             if on_pane is not None:
                 on_pane(results[-1])
             pane_index += 1
+            pane_counter.inc()
             if store is not None and pane_index % every == 0:
                 store.save(
                     PaneCheckpoint(
@@ -1079,8 +1200,13 @@ def run_direct(
                         },
                     )
                 )
+                timer.lap("checkpoint")
+            timer.close(pane_index, end=pane_end)
     finally:
         _finish_run(bound_strategy, run_info)
+        trace.close()
+    if run_info is not None:
+        run_info["sampled_total"] = sampled_total
     if controller is not None and adaptation_log is not None:
         adaptation_log.extend(controller.trajectory)
     return results, cluster, sampling_seconds

@@ -129,6 +129,12 @@ class SystemReport:
     #: the measured margin and the sample budget chosen for the next
     #: interval — the §4.2 loop made visible.
     adaptation: List[AdaptationPoint] = field(default_factory=list)
+    #: The run's live telemetry (`repro.obs.RunTelemetry`: tracer, metrics
+    #: registry, per-pane stage timings) when the run was configured with
+    #: ``SystemConfig(telemetry=…)`` — None otherwise.  Deliberately
+    #: excluded from golden fingerprints and result comparisons: telemetry
+    #: observes a run, it never changes one.
+    telemetry: Optional[object] = None
 
     @property
     def throughput(self) -> float:

@@ -157,6 +157,18 @@ class BoundStrategy:
         self.strategy = strategy
         self.plan = plan
         self._fraction_override: float = None  # type: ignore[assignment]
+        self.telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Give the run's `repro.obs.RunTelemetry` to the strategy.
+
+        Drivers call this right after ``bind`` (before any sampler or
+        executor is built) so sharded strategies can hand the metrics
+        registry to their worker pools — cross-process costs (spawn,
+        policy-snapshot ship, shm grow, pickle fallback) are then
+        attributed per transport tier.  ``None`` means telemetry is off.
+        """
+        self.telemetry = telemetry
 
     @property
     def samples_intervals(self) -> bool:
@@ -576,4 +588,5 @@ class _BoundOASRS(BoundStrategy):
             seed=config.seed,
             chunk_size=config.chunk_size if config.chunk_size > 1 else 1024,
             faults=config.faults,
+            metrics=self.telemetry.metrics if self.telemetry is not None else None,
         )

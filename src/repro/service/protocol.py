@@ -14,6 +14,7 @@ Client → server::
                 "target_margin": 0.5, "latency_budget": 2.0,
                 "cores_budget": 8}}
     {"op": "ping"}
+    {"op": "metrics"}
     {"op": "close"}
 
 Only ``tenant`` and ``source`` are required; everything else defaults to
@@ -36,6 +37,15 @@ Server → client (``type`` discriminates)::
      "time_to_answer": 0.05, "tenant": "alice"}
     {"type": "error", "id": ..., "detail": "..."}
     {"type": "pong"}
+    {"type": "metrics", "id": ...,
+     "service": {"submitted": 12, "admitted": 10, "rejected": 2,
+                 "completed": 9, "failed": 0, "in_flight": 1,
+                 "queue_depth": 0, "capacity": 50000.0,
+                 "active_cost": 1234.0, "admission_wait": {...},
+                 "time_to_first_pane": {...}, "time_to_answer": {...}},
+     "tenants": {"alice": {"budget": 1.0, "observed": ..., "sampled": ...,
+                           "settled": ..., "queue_depth": 0,
+                           "admission_wait": {...}, ...}}}
 
 The protocol carries *results*, not code: projections cannot cross the
 wire, so TCP clients can only reference sources registered server-side
@@ -62,6 +72,7 @@ __all__ = [
     "pane_message",
     "answer_message",
     "error_message",
+    "metrics_message",
 ]
 
 
@@ -196,6 +207,7 @@ def answer_message(client_id, answer) -> dict:
         "columnar_fallback": report.columnar_fallback,
         "parallel_fallback": report.parallel_fallback,
         "cost": answer.cost,
+        "actual_cost": answer.actual_cost,
         "time_to_first_pane": answer.time_to_first_pane,
         "time_to_answer": answer.time_to_answer,
     }
@@ -203,3 +215,14 @@ def answer_message(client_id, answer) -> dict:
 
 def error_message(client_id, detail: str) -> dict:
     return {"type": "error", "id": client_id, "detail": detail}
+
+
+def metrics_message(client_id, service) -> dict:
+    """The ``metrics`` op's reply: the service's full metrics snapshot."""
+    snapshot = service.metrics_snapshot()
+    return {
+        "type": "metrics",
+        "id": client_id,
+        "service": snapshot["service"],
+        "tenants": snapshot["tenants"],
+    }

@@ -42,7 +42,7 @@ import asyncio
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 __all__ = [
     "RejectionReason",
@@ -91,6 +91,9 @@ class TenantAccount:
     granted_cost: float = 0.0
     admitted: int = 0
     rejected: int = 0
+    #: Cumulative settle-up delta (actual − estimated); negative = refunds.
+    settled: float = 0.0
+    settles: int = 0
 
     @property
     def ratio(self) -> float:
@@ -186,6 +189,35 @@ class TenantScheduler:
             f"sampled={account.sampled:g})",
         )
 
+    def settle(self, tenant_id: str, estimated: float, actual: float) -> float:
+        """Reconcile a finished query's estimated cost against measured actuals.
+
+        Admission charged the planner's pre-run ``estimated`` cost; the
+        driver reports what the run *actually* sampled
+        (``run_info["sampled_total"]``).  The delta lands on the ledger's
+        ``sampled`` side — a refund when the run came in under its
+        estimate, a surcharge when it overran — and on the fair-share
+        ``granted_cost`` ordering key, both clamped at zero.
+
+        ``observed`` deliberately stays in estimate units: a rejected
+        query never runs, so demand is only ever knowable as the
+        estimate.  Keeping the denominator there is what makes the
+        achieved ratio converge to the budget even under a
+        *systematically biased* estimator — with per-query actual
+        ``a = k·e``, steady state admits a fraction ``b/k`` of
+        submissions (capped at 1), so ``sampled/observed → min(b, k)``
+        and consumption never drifts past ``b × estimated demand``.
+
+        Returns the applied delta (``actual − estimated``).
+        """
+        account = self.account(tenant_id)
+        delta = float(actual) - float(estimated)
+        account.sampled = max(0.0, account.sampled + delta)
+        account.granted_cost = max(0.0, account.granted_cost + delta)
+        account.settled += delta
+        account.settles += 1
+        return delta
+
     # -- fair-share capacity ------------------------------------------------
 
     def _fits(self, cost: float) -> bool:
@@ -269,6 +301,18 @@ class TenantScheduler:
 
     # -- observability -------------------------------------------------------
 
+    @property
+    def active_cost(self) -> float:
+        """Total sample cost currently granted and in flight."""
+        return self._active_cost
+
+    def queue_depth(self, tenant_id: Optional[str] = None) -> int:
+        """Waiters queued for capacity — one tenant's, or all tenants'."""
+        if tenant_id is not None:
+            queue = self._waiters.get(tenant_id)
+            return len(queue) if queue else 0
+        return sum(len(queue) for queue in self._waiters.values())
+
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Per-tenant ledger snapshot (the load benchmark's leakage check)."""
         return {
@@ -281,6 +325,9 @@ class TenantScheduler:
                 "granted_cost": account.granted_cost,
                 "admitted": account.admitted,
                 "rejected": account.rejected,
+                "settled": account.settled,
+                "settles": account.settles,
+                "queue_depth": self.queue_depth(tenant_id),
             }
             for tenant_id, account in self._accounts.items()
         }

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from math import ceil
 from typing import AsyncIterator, Dict, List, Optional
 
+from ..obs import MetricsRegistry
 from ..runtime.config import StreamQuery, SystemConfig, WindowConfig
 from ..runtime.control import BudgetController
 from ..runtime.driver import _per_slide_items, execute_plan
@@ -87,6 +88,10 @@ class QueryAnswer:
     started_at: float
     first_pane_at: Optional[float]
     finished_at: float
+    #: What the run actually sampled (the driver's measured
+    #: ``sampled_total``), reconciled against ``cost`` by the scheduler's
+    #: settle-up; None when the driver did not report it.
+    actual_cost: Optional[float] = None
 
     @property
     def estimate(self) -> Optional[float]:
@@ -189,6 +194,15 @@ class QueryService:
     ) -> None:
         self.scheduler = scheduler or TenantScheduler()
         self.hub = hub or SourceHub()
+        #: Always-on service metrics (query-granular, so no hot-loop cost):
+        #: admission outcomes, queue depth, and per-tenant latency
+        #: histograms, served over the wire by the ``metrics`` op.
+        self.metrics = MetricsRegistry()
+        self._m_submitted = self.metrics.counter("service.submitted")
+        self._m_admitted = self.metrics.counter("service.admitted")
+        self._m_rejected = self.metrics.counter("service.rejected")
+        self._m_completed = self.metrics.counter("service.completed")
+        self._m_failed = self.metrics.counter("service.failed")
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
@@ -266,14 +280,20 @@ class QueryService:
         returned handle's query may still *wait* for fair-share capacity
         before running.
         """
-        if self._draining:
-            raise AdmissionRejected(
-                RejectionReason.DRAINING, "service is shutting down"
-            )
-        account = self.scheduler.account(sub.tenant_id)  # unknown-tenant first
-        plan = self._build_plan(sub)
-        cost = self.estimate_cost(plan)
-        self.scheduler.admit(account.tenant_id, cost)
+        self._m_submitted.inc()
+        try:
+            if self._draining:
+                raise AdmissionRejected(
+                    RejectionReason.DRAINING, "service is shutting down"
+                )
+            account = self.scheduler.account(sub.tenant_id)  # unknown-tenant first
+            plan = self._build_plan(sub)
+            cost = self.estimate_cost(plan)
+            self.scheduler.admit(account.tenant_id, cost)
+        except AdmissionRejected:
+            self._m_rejected.inc()
+            raise
+        self._m_admitted.inc()
         loop = asyncio.get_running_loop()
         handle = QueryHandle(
             next(self._query_ids), sub.tenant_id, plan, cost, loop
@@ -317,24 +337,86 @@ class QueryService:
                 adaptation=adaptation,
             )
             handle.finished_at = loop.time()
-            handle._finish(
-                QueryAnswer(
-                    query_id=handle.query_id,
-                    tenant_id=handle.tenant_id,
-                    report=report,
-                    cost=handle.cost,
-                    submitted_at=handle.submitted_at,
-                    started_at=handle.started_at,
-                    first_pane_at=handle.first_pane_at,
-                    finished_at=handle.finished_at,
+            actual = run_info.get("sampled_total")
+            if actual is not None:
+                # Settle-up: swap the ledger's pre-run estimate for the
+                # measured actuals, so over-estimates refund slack and
+                # under-estimates surcharge it (release below stays in
+                # estimate units, symmetric with acquire).
+                self.scheduler.settle(
+                    handle.tenant_id, handle.cost, float(actual)
                 )
+            answer = QueryAnswer(
+                query_id=handle.query_id,
+                tenant_id=handle.tenant_id,
+                report=report,
+                cost=handle.cost,
+                submitted_at=handle.submitted_at,
+                started_at=handle.started_at,
+                first_pane_at=handle.first_pane_at,
+                finished_at=handle.finished_at,
+                actual_cost=float(actual) if actual is not None else None,
             )
+            self._m_completed.inc()
+            self._observe_latency(answer)
+            handle._finish(answer)
         except BaseException as exc:  # surfaced through handle.result()
             handle.finished_at = loop.time()
+            self._m_failed.inc()
             handle._fail(exc)
         finally:
             if acquired:
                 self.scheduler.release(handle.tenant_id, handle.cost)
+
+    def _observe_latency(self, answer: QueryAnswer) -> None:
+        """Feed a finished query's latencies into the service histograms."""
+        for scope in ("service", f"tenant.{answer.tenant_id}"):
+            histogram = self.metrics.histogram
+            histogram(f"{scope}.admission_wait_seconds").observe(
+                answer.started_at - answer.submitted_at
+            )
+            if answer.time_to_first_pane is not None:
+                histogram(f"{scope}.time_to_first_pane_seconds").observe(
+                    answer.time_to_first_pane
+                )
+            histogram(f"{scope}.time_to_answer_seconds").observe(
+                answer.time_to_answer
+            )
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-able service health: ledgers, queues, latency summaries.
+
+        The payload behind the wire protocol's ``metrics`` op and the
+        ``python -m repro metrics`` CLI — per-tenant admission ledgers
+        (including settle-up totals) joined with the per-tenant latency
+        histograms, plus service-wide counters and capacity state.
+        """
+        histogram = self.metrics.histogram
+        latencies = (
+            ("admission_wait", "admission_wait_seconds"),
+            ("time_to_first_pane", "time_to_first_pane_seconds"),
+            ("time_to_answer", "time_to_answer_seconds"),
+        )
+        tenants = {}
+        for tenant_id, ledger in self.scheduler.snapshot().items():
+            entry = dict(ledger)
+            for short, name in latencies:
+                entry[short] = histogram(f"tenant.{tenant_id}.{name}").summary()
+            tenants[tenant_id] = entry
+        service = {
+            "submitted": self._m_submitted.value,
+            "admitted": self._m_admitted.value,
+            "rejected": self._m_rejected.value,
+            "completed": self._m_completed.value,
+            "failed": self._m_failed.value,
+            "in_flight": self.in_flight,
+            "queue_depth": self.scheduler.queue_depth(),
+            "capacity": self.scheduler.capacity,
+            "active_cost": self.scheduler.active_cost,
+        }
+        for short, name in latencies:
+            service[short] = histogram(f"service.{name}").summary()
+        return {"service": service, "tenants": tenants}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -408,6 +490,11 @@ class QueryService:
                 op = message.get("op", "submit")
                 if op == "ping":
                     await send({"type": "pong"})
+                    continue
+                if op == "metrics":
+                    await send(
+                        protocol.metrics_message(message.get("id"), self)
+                    )
                     continue
                 if op == "close":
                     break

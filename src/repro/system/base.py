@@ -147,6 +147,7 @@ class StreamSystem:
             parallel_fallback=self._run_info.get("parallel_fallback"),
             columnar_fallback=self._run_info.get("columnar_fallback"),
             adaptation=list(self.adaptation),
+            telemetry=self._run_info.get("telemetry"),
         )
 
     def _execute(self, stream: List[Tuple[float, object]]):

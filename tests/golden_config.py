@@ -99,12 +99,14 @@ def report_fingerprint(report) -> Dict[str, object]:
     }
 
 
-def golden_cases() -> Iterator[Tuple[str, Callable[[], object]]]:
+def golden_cases(**config_overrides) -> Iterator[Tuple[str, Callable[[], object]]]:
     """Yield (case name, runner) pairs covering all seven systems.
 
     Per-item execution for every system; the pre-existing chunked paths at
     chunk_size=256; a grouped query through each engine family's
-    StreamApprox variant.
+    StreamApprox variant.  ``config_overrides`` apply on top of every
+    case's config (the telemetry-neutrality suite re-runs the whole matrix
+    with ``telemetry=TelemetryConfig()``).
     """
     stream = golden_stream()
 
@@ -112,14 +114,14 @@ def golden_cases() -> Iterator[Tuple[str, Callable[[], object]]]:
         return lambda: cls(query, WINDOW, config).run(stream)
 
     for cls in _SEVEN:
-        yield cls.name, runner(cls, golden_query(), golden_config())
+        yield cls.name, runner(cls, golden_query(), golden_config(**config_overrides))
     for cls in _CHUNKED:
         yield (
             f"{cls.name}@chunk256",
-            runner(cls, golden_query(), golden_config(chunk_size=256)),
+            runner(cls, golden_query(), golden_config(chunk_size=256, **config_overrides)),
         )
     for cls in (SparkStreamApproxSystem, FlinkStreamApproxSystem, NativeStreamApproxSystem):
         yield (
             f"{cls.name}@grouped",
-            runner(cls, golden_query(grouped=True), golden_config()),
+            runner(cls, golden_query(grouped=True), golden_config(**config_overrides)),
         )

@@ -68,6 +68,33 @@ def test_refactored_system_matches_seed_output(case):
 
 
 # ---------------------------------------------------------------------------
+# Telemetry neutrality: tracing + metrics leave every number untouched
+#
+# The observability layer promises to be loss-free: a run with
+# ``SystemConfig(telemetry=TelemetryConfig())`` fingerprints *identically*
+# to the golden JSON — spans and counters observe the run, they never touch
+# the RNG stream, the sampled sets, or the estimates.  The whole golden
+# matrix re-runs with telemetry on to pin that.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+def test_telemetry_enabled_run_matches_golden(case):
+    from golden_config import golden_cases, report_fingerprint
+    from repro.obs import TelemetryConfig
+
+    report = dict(golden_cases(telemetry=TelemetryConfig()))[case]()
+    assert_matches(report_fingerprint(report), GOLDEN[case], path=f"{case}@telemetry")
+    telemetry = report.telemetry
+    assert telemetry is not None
+    assert telemetry.pane_stages, "stage table should cover the run's panes"
+    assert [root["name"] for root in telemetry.tracer.structure()] == ["run"]
+    counters = telemetry.metrics.snapshot()["counters"]
+    assert counters["panes"] == len(telemetry.pane_stages)
+    assert counters["items.observed"] > 0
+
+
+# ---------------------------------------------------------------------------
 # Budget-driven plans across the seven systems
 #
 # ``SystemConfig(budget=…)`` cannot be compared number-for-number against the

@@ -318,8 +318,13 @@ def test_budget_exhausted_tenant_never_starves_another():
     assert outcomes["bob"] == [False, True, False, True]
     for tenant, ledger in snapshot.items():
         assert ledger["sampled"] <= ledger["observed"] * ledger["budget"] + 1e-6
-    assert snapshot["bob"]["ratio"] == pytest.approx(0.5)
-    assert snapshot["alice"]["ratio"] == pytest.approx(1.0)
+    # Settle-up swaps each admitted estimate for the (smaller) measured
+    # actuals, so the achieved ratio lands at or below the budget instead
+    # of exactly on it; the refunds show up as a negative settled total.
+    assert 0 < snapshot["bob"]["ratio"] <= 0.5 + 1e-6
+    assert 0 < snapshot["alice"]["ratio"] <= 1.0 + 1e-6
+    assert snapshot["bob"]["settled"] < 0
+    assert snapshot["bob"]["settles"] == 2
 
 
 def _reject_reason(service, sub):
@@ -363,6 +368,128 @@ def test_unknown_tenant_checked_before_source():
         _reject_reason(_service(), _sub(tenant="ghost", source="nope"))
         is RejectionReason.UNKNOWN_TENANT
     )
+
+
+# ---------------------------------------------------------------------------
+# scheduler: settle-up reconciliation
+#
+# Admission charges the pre-run *estimate*; `settle` swaps it for the
+# measured actual once the run reports ``sampled_items``.  With a constant
+# actual a = k·e against budget b, the long-run achieved ratio converges to
+# min(b, k) and the admitted *fraction* to min(1, b/k): over-estimates
+# (k < 1) refund headroom so more queries get in; under-estimates (k > 1)
+# charge the surplus forward so fewer do.
+
+
+def _settle_run(budget, estimate, actual, rounds=400):
+    sched = TenantScheduler()
+    sched.register("t", budget=budget)
+    admitted = 0
+    for _ in range(rounds):
+        try:
+            sched.admit("t", estimate)
+        except AdmissionRejected:
+            continue
+        admitted += 1
+        sched.settle("t", estimate, actual)
+    return sched.account("t"), admitted
+
+
+def test_settle_refunds_overestimates_and_admits_more():
+    # Budget 0.5, actual = 0.8x the estimate: refunds push the admitted
+    # fraction to b/k = 62.5% while the achieved ratio stays on budget.
+    account, admitted = _settle_run(0.5, 100.0, 80.0)
+    assert account.ratio == pytest.approx(0.5, abs=0.01)
+    assert admitted / 400 == pytest.approx(0.625, abs=0.02)
+    assert account.settled == pytest.approx(-20.0 * admitted)
+    assert account.settles == admitted
+    # Refund-only settling keeps the invariant at every step's end state.
+    assert account.sampled <= account.observed * account.budget + 1e-6
+
+
+def test_settle_charges_underestimates_and_admits_less():
+    # Budget 0.5, actual = 2x the estimate: the surplus carried forward
+    # halves the admitted fraction to b/k = 25%; the measured ratio still
+    # converges to the budget, so under-reporting cost buys nothing.
+    account, admitted = _settle_run(0.5, 100.0, 200.0)
+    assert account.ratio == pytest.approx(0.5, abs=0.01)
+    assert admitted / 400 == pytest.approx(0.25, abs=0.02)
+    assert account.settled == pytest.approx(100.0 * admitted)
+
+
+def test_settle_clamps_at_zero():
+    sched = TenantScheduler()
+    sched.register("t", budget=1.0)
+    sched.admit("t", 10.0)
+    delta = sched.settle("t", estimated=10.0, actual=0.0)
+    assert delta == -10.0
+    account = sched.account("t")
+    assert account.sampled == 0.0 and account.granted_cost == 0.0
+    # A refund larger than the ledger cannot drive either below zero.
+    sched.settle("t", estimated=50.0, actual=0.0)
+    assert sched.account("t").sampled == 0.0
+
+
+# ---------------------------------------------------------------------------
+# service: metrics snapshot and settle-up wiring
+
+
+def test_service_metrics_snapshot_structure():
+    async def scenario():
+        service = _service(alice=1.0, bob=0.5)
+        try:
+            for _ in range(2):
+                handle = await service.submit(_sub())
+                await handle.result()
+            try:
+                await service.submit(_sub(tenant="ghost"))
+            except AdmissionRejected:
+                pass
+            return service.metrics_snapshot()
+        finally:
+            await service.close()
+
+    snapshot = asyncio.run(scenario())
+    service_stats = snapshot["service"]
+    assert service_stats["submitted"] == 3
+    assert service_stats["admitted"] == 2
+    assert service_stats["rejected"] == 1
+    assert service_stats["completed"] == 2
+    assert service_stats["failed"] == 0
+    assert service_stats["in_flight"] == 0
+    assert service_stats["queue_depth"] == 0
+    latency = service_stats["time_to_answer"]
+    assert latency["count"] == 2 and latency["p99"] > 0
+    assert service_stats["admission_wait"]["count"] == 2
+    alice = snapshot["tenants"]["alice"]
+    assert alice["admitted"] == 2 and alice["settles"] == 2
+    assert alice["time_to_answer"]["count"] == 2
+    # bob never submitted: ledger row present, no latency series yet.
+    bob = snapshot["tenants"]["bob"]
+    assert bob["admitted"] == 0
+    assert bob["time_to_answer"]["count"] == 0
+
+
+def test_answer_carries_actual_cost_and_settles_ledger():
+    async def scenario():
+        service = _service()
+        try:
+            handle = await service.submit(_sub())
+            answer = await handle.result()
+            return answer, handle.cost, service.scheduler.snapshot()
+        finally:
+            await service.close()
+
+    answer, estimated, snapshot = asyncio.run(scenario())
+    # Each kept item is charged once; summing pane.sampled_items would
+    # double-count items landing in two overlapping sliding panes.
+    assert 0 < answer.actual_cost <= sum(
+        r.sampled_items for r in answer.report.results
+    )
+    ledger = snapshot["alice"]
+    assert ledger["settles"] == 1
+    assert ledger["settled"] == pytest.approx(answer.actual_cost - estimated)
+    assert ledger["sampled"] == pytest.approx(answer.actual_cost)
 
 
 # ---------------------------------------------------------------------------
@@ -467,7 +594,7 @@ async def _tcp_request(port, messages):
             break
         reply = json.loads(line)
         replies.append(reply)
-        if reply["type"] in ("answer", "rejected", "error", "pong"):
+        if reply["type"] in ("answer", "rejected", "error", "pong", "metrics"):
             break
     writer.close()
     try:
@@ -544,3 +671,37 @@ def test_tcp_rejections_and_ping():
     assert ghost[0]["reason"] == "unknown-tenant"
     assert missing[0]["type"] == "error"
     assert "source" in missing[0]["detail"]
+
+
+def test_tcp_metrics_request_reports_per_tenant_stats():
+    async def scenario():
+        service = _service(alice=1.0, bob=0.5)
+        try:
+            _host, port = await service.serve_tcp(port=0)
+            # One full query over the wire first, so the counters move.
+            await _tcp_request(
+                port,
+                [
+                    {
+                        "op": "submit",
+                        "id": "q1",
+                        "tenant": "alice",
+                        "source": "ticks",
+                        "config": {"fraction": 0.3, "seed": 7},
+                    }
+                ],
+            )
+            return await _tcp_request(port, [{"op": "metrics", "id": "m1"}])
+        finally:
+            await service.close()
+
+    replies = asyncio.run(scenario())
+    (reply,) = replies
+    assert reply["type"] == "metrics" and reply["id"] == "m1"
+    assert reply["service"]["submitted"] == 1
+    assert reply["service"]["completed"] == 1
+    assert set(reply["tenants"]) == {"alice", "bob"}
+    alice = reply["tenants"]["alice"]
+    assert alice["admitted"] == 1 and alice["settles"] == 1
+    assert alice["time_to_answer"]["count"] == 1
+    assert alice["time_to_first_pane"]["count"] == 1
